@@ -1,0 +1,160 @@
+// Command dcsr-bench regenerates the tables and figures of the dcSR paper
+// (CoNEXT '21) as text tables. With no flags it runs everything; use
+// -only to select a subset.
+//
+// Usage:
+//
+//	dcsr-bench                 # all experiments (several minutes)
+//	dcsr-bench -only fig8,fig10
+//	dcsr-bench -fast           # trained experiments at reduced budgets
+//	dcsr-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dcsr/internal/device"
+	"dcsr/internal/experiments"
+	"dcsr/internal/video"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(cfg experiments.EvalConfig)
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment names (see -list)")
+	fast := flag.Bool("fast", false, "reduced training budgets for the trained experiments")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	cfg := experiments.DefaultEvalConfig()
+	if *fast {
+		cfg.MicroSteps = 150
+		cfg.BigSteps = 250
+		cfg.Genres = []video.Genre{video.GenreNews, video.GenreSports}
+	}
+
+	var fig9 *experiments.Fig9Result
+	getFig9 := func() *experiments.Fig9Result {
+		if fig9 == nil {
+			var err error
+			fig9, err = experiments.RunFig9(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcsr-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return fig9
+	}
+
+	exps := []experiment{
+		{"fig1a", "big-model inference rate vs resolution", func(experiments.EvalConfig) {
+			t, _ := experiments.Fig1a()
+			fmt.Println(t)
+		}},
+		{"fig1b", "big-model size vs resolution", func(experiments.EvalConfig) {
+			t, _ := experiments.Fig1b()
+			fmt.Println(t)
+		}},
+		{"fig1c", "per-frame quality variance of one big model", func(c experiments.EvalConfig) {
+			t, st, _ := experiments.Fig1c(c)
+			fmt.Println(t)
+			fmt.Printf("per-frame PSNR: mean %.2f dB, min %.2f, max %.2f, spread %.2f dB\n\n",
+				st.Mean, st.Min, st.Max, st.Max-st.Min)
+		}},
+		{"table1", "model size over (n_f, n_RB) grid", func(experiments.EvalConfig) {
+			t, _ := experiments.Table1()
+			fmt.Println(t)
+		}},
+		{"fig5", "silhouette coefficient vs K", func(c experiments.EvalConfig) {
+			t, bestK, _ := experiments.Fig5(c)
+			fmt.Println(t)
+			fmt.Printf("selected K* = %d\n\n", bestK)
+		}},
+		{"fig8", "Jetson FPS panels (720p/1080p/4K)", func(experiments.EvalConfig) {
+			for _, r := range []device.Resolution{device.Res720p, device.Res1080p, device.Res4K} {
+				t, _ := experiments.Fig8FPS(r, 5)
+				fmt.Println(t)
+			}
+		}},
+		{"fig8d", "Jetson power & energy", func(experiments.EvalConfig) {
+			t, _, _ := experiments.Fig8Power()
+			fmt.Println(t)
+		}},
+		{"fig9", "PSNR/SSIM across the six genre videos", func(c experiments.EvalConfig) {
+			psnr, ssim := getFig9().QualityTables()
+			fmt.Println(psnr)
+			fmt.Println(ssim)
+		}},
+		{"fig10", "normalized network usage", func(c experiments.EvalConfig) {
+			r := getFig9()
+			fmt.Println(r.NetworkTable())
+			fmt.Printf("mean dcSR saving vs NAS: %.0f%%\n\n", r.MeanSaving()*100)
+		}},
+		{"fig11", "training loss vs data size", func(c experiments.EvalConfig) {
+			t, _ := experiments.Fig11(c)
+			fmt.Println(t)
+		}},
+		{"fig12", "laptop/desktop 4K FPS panels", func(experiments.EvalConfig) {
+			for _, p := range []device.Profile{device.Laptop, device.Desktop} {
+				t, _ := experiments.Fig12FPS(p, 10)
+				fmt.Println(t)
+			}
+		}},
+		{"speedup", "micro vs big training cost", func(c experiments.EvalConfig) {
+			r := getFig9()
+			fmt.Println(r.SpeedupTable())
+			fmt.Printf("mean training speedup: %.1fx\n\n", r.MeanSpeedup())
+		}},
+		{"upscale", "x2 super-resolution vs bicubic", func(c experiments.EvalConfig) {
+			t, _ := experiments.ExperimentUpscale(c)
+			fmt.Println(t)
+		}},
+		{"abr", "SR-aware adaptive bitrate integration", func(c experiments.EvalConfig) {
+			t, _ := experiments.ExperimentABR(c)
+			fmt.Println(t)
+		}},
+		{"ablations", "VAE features / global k-means / split / propagation ablations", func(c experiments.EvalConfig) {
+			t1, _ := experiments.AblationFeatures(c)
+			fmt.Println(t1)
+			t2, _, _ := experiments.AblationGlobalKMeans(c)
+			fmt.Println(t2)
+			t3, _ := experiments.AblationSplit(c)
+			fmt.Println(t3)
+			t4, _ := experiments.AblationPropagation(c)
+			fmt.Println(t4)
+			t5, _, _ := experiments.AblationQuantization(c)
+			fmt.Println(t5)
+		}},
+	}
+
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(n)] = true
+		}
+	}
+	for _, e := range exps {
+		if len(selected) > 0 && !selected[e.name] {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("--- %s: %s ---\n", e.name, e.desc)
+		e.run(cfg)
+		fmt.Printf("(%s finished in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,85 @@
+// Command dcsr-prepare runs the server-side dcSR pipeline over a synthetic
+// video and writes the resulting artifact (coded stream + micro models +
+// manifest) to a directory that dcsr-play can consume.
+//
+// Usage:
+//
+//	dcsr-prepare -out /tmp/video1 -genre sports -w 160 -h 96 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcsr/internal/core"
+	"dcsr/internal/edsr"
+	"dcsr/internal/splitter"
+	"dcsr/internal/vae"
+	"dcsr/internal/video"
+)
+
+func main() {
+	out := flag.String("out", "", "output artifact directory (required)")
+	genreName := flag.String("genre", "news", "content genre: sports|music|documentary|gaming|news|animation")
+	w := flag.Int("w", 80, "frame width (multiple of 16)")
+	h := flag.Int("h", 48, "frame height (multiple of 16)")
+	seed := flag.Int64("seed", 7, "generation seed")
+	qp := flag.Int("qp", 51, "encoder QP (CRF-style, 0 best – 51 worst)")
+	steps := flag.Int("steps", 400, "micro-model training steps")
+	filters := flag.Int("filters", 8, "micro-model filters (n_f)")
+	resblocks := flag.Int("resblocks", 2, "micro-model ResBlocks (n_RB)")
+	search := flag.Bool("search", false, "run the Appendix A.1 minimum-working-model search instead of -filters/-resblocks")
+	flag.Parse()
+
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "dcsr-prepare: -out is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var genre video.Genre
+	found := false
+	for _, g := range video.AllGenres() {
+		if g.String() == *genreName {
+			genre, found = g, true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "dcsr-prepare: unknown genre %q\n", *genreName)
+		os.Exit(2)
+	}
+
+	gc := video.GenreConfig(genre, *w, *h, *seed)
+	gc.MinFrames, gc.MaxFrames = 5, 9
+	clip := video.Generate(gc)
+	fmt.Printf("generated %s\n", clip)
+
+	cfg := core.ServerConfig{
+		QP:       *qp,
+		Split:    splitter.Config{Threshold: 14, MinLen: 3},
+		VAE:      vae.Config{ImgSize: 16, LatentDim: 8, BaseCh: 4},
+		VAETrain: vae.TrainOptions{Epochs: 25, BatchSize: 4, Seed: *seed},
+		Train:    edsr.TrainOptions{Steps: *steps, BatchSize: 2, PatchSize: 16},
+		Seed:     *seed,
+	}
+	if !*search {
+		cfg.MicroConfig = edsr.Config{Filters: *filters, ResBlocks: *resblocks}
+	}
+
+	prep, err := core.Prepare(clip.YUVFrames(), clip.FPS, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcsr-prepare: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("segments: %d, clusters K=%d, micro config %s\n", len(prep.Segments), prep.K, prep.MicroConfig)
+	fmt.Printf("stream: %d bytes, models: %d bytes total\n",
+		prep.Manifest.TotalVideoBytes(), prep.Manifest.TotalModelBytes())
+	for label, sm := range prep.Models {
+		fmt.Printf("  model %d: %d bytes, final train MSE %.1f\n", label, len(sm.Bytes), sm.Train.FinalLoss)
+	}
+	if err := prep.Save(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "dcsr-prepare: saving: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("artifact written to %s\n", *out)
+}

@@ -1,0 +1,101 @@
+// Command dcsr-serve is the dcSR origin server: it loads an artifact
+// produced by dcsr-prepare (or prepares one in-process from a synthetic
+// clip) and serves the manifest, per-segment sub-streams and micro models
+// to dcsr-play clients over TCP.
+//
+// Usage:
+//
+//	dcsr-serve -in /tmp/video1 -listen 127.0.0.1:8090
+//	dcsr-serve -genre sports -listen 127.0.0.1:8090   # prepare in-process
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+
+	"dcsr/internal/core"
+	"dcsr/internal/edsr"
+	"dcsr/internal/splitter"
+	"dcsr/internal/transport"
+	"dcsr/internal/vae"
+	"dcsr/internal/video"
+)
+
+func main() {
+	in := flag.String("in", "", "artifact directory from dcsr-prepare")
+	listen := flag.String("listen", "127.0.0.1:8090", "TCP listen address")
+	genreName := flag.String("genre", "", "prepare a synthetic clip of this genre instead of loading -in")
+	w := flag.Int("w", 80, "frame width for -genre mode")
+	h := flag.Int("h", 48, "frame height for -genre mode")
+	seed := flag.Int64("seed", 7, "seed for -genre mode")
+	qp := flag.Int("qp", 51, "encoder QP for -genre mode")
+	steps := flag.Int("steps", 300, "training steps for -genre mode")
+	flag.Parse()
+
+	var prep *core.Prepared
+	var err error
+	switch {
+	case *in != "":
+		prep, err = core.Load(*in)
+	case *genreName != "":
+		var genre video.Genre
+		found := false
+		for _, g := range video.AllGenres() {
+			if g.String() == *genreName {
+				genre, found = g, true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "dcsr-serve: unknown genre %q\n", *genreName)
+			os.Exit(2)
+		}
+		gc := video.GenreConfig(genre, *w, *h, *seed)
+		gc.MinFrames, gc.MaxFrames = 5, 9
+		clip := video.Generate(gc)
+		fmt.Printf("prepared in-process: %s\n", clip)
+		prep, err = core.Prepare(clip.YUVFrames(), clip.FPS, core.ServerConfig{
+			QP:          *qp,
+			Split:       splitter.Config{Threshold: 14, MinLen: 3},
+			VAE:         vae.Config{ImgSize: 16, LatentDim: 8, BaseCh: 4},
+			VAETrain:    vae.TrainOptions{Epochs: 25, BatchSize: 4, Seed: *seed},
+			MicroConfig: edsr.Config{Filters: 8, ResBlocks: 2},
+			Train:       edsr.TrainOptions{Steps: *steps, BatchSize: 2, PatchSize: 16},
+			Seed:        *seed,
+		})
+	default:
+		fmt.Fprintln(os.Stderr, "dcsr-serve: one of -in or -genre is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcsr-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv, err := transport.NewServer(prep)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcsr-serve: %v\n", err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dcsr-serve: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving %d segments + %d micro models on %s (ctrl-c to stop)\n",
+		len(prep.Segments), len(prep.Models), ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		fmt.Println("\nshutting down")
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil && err != net.ErrClosed {
+		fmt.Fprintf(os.Stderr, "dcsr-serve: %v\n", err)
+	}
+}

@@ -1,0 +1,89 @@
+// Devices: evaluate real-time feasibility of dcSR versus NAS/NEMO on the
+// three device classes of the paper — mobile-grade Jetson Xavier NX, a
+// GTX-1060 laptop and an RTX-2070 desktop (paper Figs 8 and 12).
+//
+// The device model converts each configuration's inference FLOPs into
+// latency, memory pressure and power draw; the printout shows who meets
+// the 30 FPS line, who runs out of memory at 4K, and what the energy bill
+// of each method is.
+//
+//	go run ./examples/devices
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcsr"
+)
+
+func main() {
+	configs := []struct {
+		name string
+		cfg  dcsr.EDSRConfig
+		perI bool // true: enhance I frames only (NEMO/dcSR); false: every frame (NAS)
+	}{
+		{"NAS   (big, all frames)", dcsr.ConfigBig, false},
+		{"NEMO  (big, I frames)", dcsr.ConfigBig, true},
+		{"dcSR-1 (16f x  4RB)", dcsr.ConfigDCSR1, true},
+		{"dcSR-2 (16f x 12RB)", dcsr.ConfigDCSR2, true},
+		{"dcSR-3 (16f x 16RB)", dcsr.ConfigDCSR3, true},
+	}
+	const segFrames = 60 // 2 s segments at 30 FPS
+
+	for _, dev := range []dcsr.DeviceProfile{dcsr.DeviceJetsonNX, dcsr.DeviceLaptop, dcsr.DeviceDesktop} {
+		fmt.Printf("=== %s ===\n", dev.Name)
+		fmt.Printf("%-26s", "method")
+		for _, r := range []dcsr.Resolution{dcsr.Res720p, dcsr.Res1080p, dcsr.Res4K} {
+			fmt.Printf("  %8s", r.Name)
+		}
+		fmt.Println()
+		for _, c := range configs {
+			fmt.Printf("%-26s", c.name)
+			for _, r := range []dcsr.Resolution{dcsr.Res720p, dcsr.Res1080p, dcsr.Res4K} {
+				inf := 1
+				if !c.perI {
+					inf = segFrames
+				}
+				fps, err := dev.SegmentFPS(dcsr.PlaybackSpec{
+					Res: r, Model: c.cfg, FramesPerSegment: segFrames, Inferences: inf,
+				})
+				switch {
+				case err != nil:
+					fmt.Printf("  %8s", "OOM")
+				case fps >= 30:
+					fmt.Printf("  %5.1f ✓", fps)
+				default:
+					fmt.Printf("  %5.1f ✗", fps)
+				}
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+
+	// Energy on the mobile device at 1080p (paper Fig 8d).
+	fmt.Println("=== Jetson energy, 1080p, 800 s playback ===")
+	type run struct {
+		name string
+		cfg  dcsr.EDSRConfig
+		inf  int
+	}
+	var base float64
+	for _, r := range []run{
+		{"dcSR-1", dcsr.ConfigDCSR1, 1},
+		{"NEMO", dcsr.ConfigBig, 1},
+		{"NAS", dcsr.ConfigBig, 225},
+	} {
+		_, energy, err := dcsr.DeviceJetsonNX.PowerTimeline(dcsr.PlaybackSpec{
+			Res: dcsr.Res1080p, Model: r.cfg, FramesPerSegment: 225, Inferences: r.inf, FPS: 30,
+		}, 800, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = energy
+		}
+		fmt.Printf("%-8s %7.0f J  (%.1fx dcSR)\n", r.name, energy, energy/base)
+	}
+}

@@ -1,0 +1,3 @@
+module dcsr
+
+go 1.22

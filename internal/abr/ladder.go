@@ -1,0 +1,109 @@
+// Package abr implements the adaptive-bitrate layer the paper positions
+// dcSR inside (§4: "an ABR algorithm can use the decoded and
+// super-resolved quality level as an input to trade the network and
+// compute capacity"): a per-video quality ladder built with the real
+// codec, synthetic bandwidth traces, a buffer-level playback simulator,
+// and three ABR policies — throughput-based, buffer-based (in the spirit
+// of BOLA), and an SR-aware policy that counts the post-enhancement
+// quality of low layers and the micro-model bytes it must fetch.
+package abr
+
+import (
+	"fmt"
+
+	"dcsr/internal/codec"
+	"dcsr/internal/quality"
+	"dcsr/internal/splitter"
+	"dcsr/internal/video"
+)
+
+// Level is one rung of the quality ladder.
+type Level struct {
+	QP           int
+	SegmentBytes []int     // per segment
+	SegmentPSNR  []float64 // per segment, decoded vs source
+}
+
+// Bitrate returns the level's mean bits per second given the segment
+// durations.
+func (l *Level) Bitrate(segDur []float64) float64 {
+	var bytes int
+	var dur float64
+	for i, b := range l.SegmentBytes {
+		bytes += b
+		dur += segDur[i]
+	}
+	if dur == 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / dur
+}
+
+// Ladder is a multi-quality encode of one video.
+type Ladder struct {
+	Levels   []Level   // ascending quality (descending QP)
+	SegDur   []float64 // seconds per segment
+	Segments int
+}
+
+// MeanPSNR returns the mean quality of level li across segments.
+func (l *Ladder) MeanPSNR(li int) float64 {
+	var s float64
+	for _, p := range l.Levels[li].SegmentPSNR {
+		s += p
+	}
+	return s / float64(len(l.Levels[li].SegmentPSNR))
+}
+
+// BuildLadder encodes the video once per QP (descending quality order is
+// enforced: QPs must be strictly decreasing so levels ascend in quality)
+// and measures per-segment bytes and PSNR with the real codec.
+func BuildLadder(frames []*video.YUV, fps int, segs []splitter.Segment, qps []int) (*Ladder, error) {
+	if len(qps) < 2 {
+		return nil, fmt.Errorf("abr: ladder needs at least 2 levels")
+	}
+	for i := 1; i < len(qps); i++ {
+		if qps[i] >= qps[i-1] {
+			return nil, fmt.Errorf("abr: QPs must be strictly decreasing (ascending quality), got %v", qps)
+		}
+	}
+	forceI := splitter.ForceIFlags(len(frames), segs)
+	ld := &Ladder{Segments: len(segs)}
+	for _, s := range segs {
+		ld.SegDur = append(ld.SegDur, float64(s.Len())/float64(fps))
+	}
+	segOf := func(display int) int {
+		for i, s := range segs {
+			if display >= s.Start && display < s.End {
+				return i
+			}
+		}
+		return len(segs) - 1
+	}
+	for _, qp := range qps {
+		st, err := codec.Encode(frames, forceI, fps, codec.EncoderConfig{QP: qp, GOPSize: 1000})
+		if err != nil {
+			return nil, fmt.Errorf("abr: encoding QP %d: %w", qp, err)
+		}
+		var dec codec.Decoder
+		out, err := dec.Decode(st)
+		if err != nil {
+			return nil, fmt.Errorf("abr: decoding QP %d: %w", qp, err)
+		}
+		lv := Level{QP: qp, SegmentBytes: make([]int, len(segs)), SegmentPSNR: make([]float64, len(segs))}
+		for _, f := range st.Frames {
+			lv.SegmentBytes[segOf(f.Display)] += len(f.Data) + 9
+		}
+		counts := make([]int, len(segs))
+		for i := range frames {
+			si := segOf(i)
+			lv.SegmentPSNR[si] += quality.PSNRYUV(frames[i], out[i])
+			counts[si]++
+		}
+		for i := range lv.SegmentPSNR {
+			lv.SegmentPSNR[i] /= float64(counts[i])
+		}
+		ld.Levels = append(ld.Levels, lv)
+	}
+	return ld, nil
+}

@@ -1,0 +1,124 @@
+package abr
+
+// Context is what a policy sees when choosing the next segment's level.
+type Context struct {
+	Segment      int
+	Ladder       *Ladder
+	Buffer       float64   // seconds of video buffered
+	MaxBuffer    float64   // buffer capacity in seconds
+	Throughput   float64   // smoothed estimate, bytes/s (0 before first sample)
+	PrevLevel    int       // last chosen level (-1 for the first segment)
+	ModelCached  []bool    // per model label: already downloaded? (SR-aware)
+	SegmentModel int       // model label this segment needs (-1: none)
+	ModelBytes   int       // bytes to fetch that model on a miss
+	SRGain       []float64 // per level: PSNR gain SR adds on top (nil: no SR)
+	ComputeOK    bool      // device can run SR in real time
+}
+
+// Policy selects the ladder level for the next segment.
+type Policy interface {
+	Name() string
+	Choose(ctx Context) int
+}
+
+// RateBased picks the highest level whose expected download fits within
+// Safety × estimated throughput (the classic throughput rule).
+type RateBased struct {
+	Safety float64 // fraction of the estimate to use; default 0.9
+}
+
+// Name identifies the policy.
+func (RateBased) Name() string { return "rate-based" }
+
+// Choose implements Policy.
+func (p RateBased) Choose(ctx Context) int {
+	safety := p.Safety
+	if safety == 0 {
+		safety = 0.9
+	}
+	if ctx.Throughput <= 0 {
+		return 0
+	}
+	budget := safety * ctx.Throughput * ctx.Ladder.SegDur[ctx.Segment]
+	best := 0
+	for li := range ctx.Ladder.Levels {
+		if float64(ctx.Ladder.Levels[li].SegmentBytes[ctx.Segment]) <= budget {
+			best = li
+		}
+	}
+	return best
+}
+
+// BufferBased maps buffer occupancy linearly onto the ladder (the shape of
+// BOLA/BBA: empty buffer → lowest level, full buffer → highest), with a
+// reservoir that always plays the lowest level.
+type BufferBased struct {
+	Reservoir float64 // seconds; below this always pick level 0. Default 5.
+}
+
+// Name identifies the policy.
+func (BufferBased) Name() string { return "buffer-based" }
+
+// Choose implements Policy.
+func (p BufferBased) Choose(ctx Context) int {
+	res := p.Reservoir
+	if res == 0 {
+		res = 5
+	}
+	if ctx.Buffer <= res {
+		return 0
+	}
+	span := ctx.MaxBuffer - res
+	if span <= 0 {
+		return len(ctx.Ladder.Levels) - 1
+	}
+	frac := (ctx.Buffer - res) / span
+	li := int(frac * float64(len(ctx.Ladder.Levels)))
+	if li >= len(ctx.Ladder.Levels) {
+		li = len(ctx.Ladder.Levels) - 1
+	}
+	return li
+}
+
+// SRAware is the dcSR-integrated policy the paper sketches: it scores each
+// level by the quality the viewer will SEE — the decoded PSNR plus the
+// super-resolution gain available at that level — and by the bytes the
+// level actually costs, including the micro model on a cache miss. Under
+// constrained bandwidth it therefore prefers a low layer plus SR over a
+// high layer, spending client compute instead of network capacity.
+type SRAware struct {
+	Safety float64 // throughput safety factor; default 0.9
+}
+
+// Name identifies the policy.
+func (SRAware) Name() string { return "sr-aware (dcSR)" }
+
+// Choose implements Policy.
+func (p SRAware) Choose(ctx Context) int {
+	safety := p.Safety
+	if safety == 0 {
+		safety = 0.9
+	}
+	if ctx.Throughput <= 0 {
+		return 0
+	}
+	budget := safety * ctx.Throughput * ctx.Ladder.SegDur[ctx.Segment]
+	best, bestScore := 0, -1.0
+	for li := range ctx.Ladder.Levels {
+		bytes := float64(ctx.Ladder.Levels[li].SegmentBytes[ctx.Segment])
+		score := ctx.Ladder.Levels[li].SegmentPSNR[ctx.Segment]
+		if ctx.SRGain != nil && ctx.ComputeOK && ctx.SegmentModel >= 0 {
+			score += ctx.SRGain[li]
+			if ctx.ModelCached != nil && !ctx.ModelCached[ctx.SegmentModel] {
+				bytes += float64(ctx.ModelBytes)
+			}
+		}
+		if bytes > budget && li > 0 {
+			continue
+		}
+		if score > bestScore {
+			best, bestScore = li, score
+		}
+	}
+	return best
+}

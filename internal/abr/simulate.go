@@ -1,0 +1,173 @@
+package abr
+
+import (
+	"fmt"
+	"math"
+)
+
+// SimOptions configures a playback simulation.
+type SimOptions struct {
+	MaxBuffer float64 // seconds; default 20
+	// SR integration (nil SRGain disables SR accounting entirely).
+	SRGain       []float64 // per level, dB added by enhancement
+	SegmentModel []int     // per segment, model label (-1 none)
+	ModelBytes   map[int]int
+	ComputeOK    bool
+	// QoE weights (Yin et al. MPC-style): QoE = Σ quality − RebufPenalty·rebuf
+	// − SwitchPenalty·|ΔPSNR|.
+	RebufPenalty  float64 // dB-equivalent per second of stall; default 50
+	SwitchPenalty float64 // per dB of level change; default 0.5
+}
+
+func (o SimOptions) withDefaults() SimOptions {
+	if o.MaxBuffer == 0 {
+		o.MaxBuffer = 20
+	}
+	if o.RebufPenalty == 0 {
+		o.RebufPenalty = 50
+	}
+	if o.SwitchPenalty == 0 {
+		o.SwitchPenalty = 0.5
+	}
+	return o
+}
+
+// SegmentLog records one simulated segment download.
+type SegmentLog struct {
+	Segment      int
+	Level        int
+	Bytes        int
+	DownloadS    float64
+	RebufferS    float64
+	BufferAfter  float64
+	SeenPSNR     float64 // displayed quality incl. SR gain
+	ModelFetched bool
+}
+
+// Result aggregates a simulated session.
+type Result struct {
+	Policy     string
+	Log        []SegmentLog
+	MeanPSNR   float64 // displayed quality
+	StartupS   float64 // time to first frame (not counted as rebuffering)
+	RebufferS  float64
+	Switches   int
+	SwitchMag  float64 // summed |ΔPSNR| across switches
+	TotalBytes int
+	ModelBytes int
+	QoE        float64
+}
+
+// Simulate plays the ladder through the trace under the policy using the
+// standard download-then-play buffer model: segment i downloads while the
+// buffer drains; if the buffer empties, playback stalls (rebuffering).
+func Simulate(ladder *Ladder, trace *Trace, policy Policy, opts SimOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	if ladder.Segments == 0 {
+		return nil, fmt.Errorf("abr: empty ladder")
+	}
+	if opts.SRGain != nil && len(opts.SRGain) != len(ladder.Levels) {
+		return nil, fmt.Errorf("abr: SRGain has %d entries for %d levels", len(opts.SRGain), len(ladder.Levels))
+	}
+	res := &Result{Policy: policy.Name()}
+	var (
+		clock      float64 // wall time
+		buffer     float64 // seconds of media buffered
+		throughput float64 // smoothed estimate, bytes/s
+		prevLevel  = -1
+		prevPSNR   float64
+	)
+	cached := map[int]bool{}
+	cachedSlice := func() []bool {
+		if opts.SegmentModel == nil {
+			return nil
+		}
+		maxLabel := 0
+		for _, l := range opts.SegmentModel {
+			if l > maxLabel {
+				maxLabel = l
+			}
+		}
+		out := make([]bool, maxLabel+1)
+		for l := range out {
+			out[l] = cached[l]
+		}
+		return out
+	}
+	for i := 0; i < ladder.Segments; i++ {
+		ctx := Context{
+			Segment: i, Ladder: ladder, Buffer: buffer, MaxBuffer: opts.MaxBuffer,
+			Throughput: throughput, PrevLevel: prevLevel,
+			SegmentModel: -1, SRGain: opts.SRGain, ComputeOK: opts.ComputeOK,
+		}
+		if opts.SegmentModel != nil {
+			ctx.SegmentModel = opts.SegmentModel[i]
+			ctx.ModelCached = cachedSlice()
+			if ctx.SegmentModel >= 0 && opts.ModelBytes != nil {
+				ctx.ModelBytes = opts.ModelBytes[ctx.SegmentModel]
+			}
+		}
+		level := policy.Choose(ctx)
+		if level < 0 || level >= len(ladder.Levels) {
+			return nil, fmt.Errorf("abr: policy %q chose invalid level %d", policy.Name(), level)
+		}
+		bytes := ladder.Levels[level].SegmentBytes[i]
+		lg := SegmentLog{Segment: i, Level: level, Bytes: bytes}
+		// SR model fetch on cache miss (only when SR will be applied).
+		srActive := opts.SRGain != nil && opts.ComputeOK && ctx.SegmentModel >= 0
+		if srActive && !cached[ctx.SegmentModel] {
+			bytes += ctx.ModelBytes
+			cached[ctx.SegmentModel] = true
+			lg.ModelFetched = true
+			res.ModelBytes += ctx.ModelBytes
+			lg.Bytes = bytes
+		}
+		dl := trace.DownloadTime(clock, bytes)
+		lg.DownloadS = dl
+		// Buffer drains while downloading. The wait for the very first
+		// segment is startup latency, not a stall.
+		if i == 0 {
+			res.StartupS = dl
+		} else if dl > buffer {
+			lg.RebufferS = dl - buffer
+			res.RebufferS += dl - buffer
+			buffer = 0
+		} else {
+			buffer -= dl
+		}
+		clock += dl
+		buffer += ladder.SegDur[i]
+		if buffer > opts.MaxBuffer {
+			// Client idles until there is room; the link is unused.
+			clock += buffer - opts.MaxBuffer
+			buffer = opts.MaxBuffer
+		}
+		lg.BufferAfter = buffer
+		// Throughput estimate: EWMA of measured rate.
+		if dl > 0 {
+			sample := float64(bytes) / dl
+			if throughput == 0 {
+				throughput = sample
+			} else {
+				throughput = 0.7*throughput + 0.3*sample
+			}
+		}
+		seen := ladder.Levels[level].SegmentPSNR[i]
+		if srActive {
+			seen += opts.SRGain[level]
+		}
+		lg.SeenPSNR = seen
+		res.MeanPSNR += seen
+		if prevLevel >= 0 && level != prevLevel {
+			res.Switches++
+			res.SwitchMag += math.Abs(seen - prevPSNR)
+		}
+		prevLevel, prevPSNR = level, seen
+		res.TotalBytes += bytes
+		res.Log = append(res.Log, lg)
+	}
+	res.MeanPSNR /= float64(ladder.Segments)
+	res.QoE = res.MeanPSNR - opts.RebufPenalty*res.RebufferS/float64(ladder.Segments) -
+		opts.SwitchPenalty*res.SwitchMag/float64(ladder.Segments)
+	return res, nil
+}

@@ -1,0 +1,105 @@
+package abr
+
+import "math/rand"
+
+// Trace is a piecewise-constant bandwidth profile: Rate[i] bytes/s holds
+// for Step seconds starting at i·Step.
+type Trace struct {
+	Step  float64
+	Rates []float64 // bytes per second
+}
+
+// At returns the link rate at time t (clamped to the trace ends).
+func (tr *Trace) At(t float64) float64 {
+	if len(tr.Rates) == 0 {
+		return 0
+	}
+	i := int(t / tr.Step)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(tr.Rates) {
+		i = len(tr.Rates) - 1
+	}
+	return tr.Rates[i]
+}
+
+// Duration returns the trace length in seconds.
+func (tr *Trace) Duration() float64 { return tr.Step * float64(len(tr.Rates)) }
+
+// DownloadTime integrates the trace from start until bytes have been
+// transferred, returning the elapsed seconds.
+func (tr *Trace) DownloadTime(start float64, bytes int) float64 {
+	remaining := float64(bytes)
+	t := start
+	for remaining > 0 {
+		rate := tr.At(t)
+		if rate <= 0 {
+			rate = 1 // pathological trace: crawl instead of dividing by zero
+		}
+		// Time left in the current step.
+		stepEnd := (float64(int(t/tr.Step)) + 1) * tr.Step
+		dt := stepEnd - t
+		if t >= tr.Duration() {
+			// Past the end: final rate holds forever.
+			return t - start + remaining/rate
+		}
+		if can := rate * dt; can >= remaining {
+			return t - start + remaining/rate
+		}
+		remaining -= rate * dt
+		t = stepEnd
+	}
+	return t - start
+}
+
+// ConstantTrace is a fixed-rate link.
+func ConstantTrace(bytesPerSecond, duration float64) *Trace {
+	n := int(duration) + 1
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = bytesPerSecond
+	}
+	return &Trace{Step: 1, Rates: rates}
+}
+
+// MarkovTrace alternates between a good and a bad state with the given
+// switching probability per second — the classic two-state wireless-link
+// model. Deterministic for a fixed seed.
+func MarkovTrace(goodBps, badBps, pSwitch, duration float64, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(duration) + 1
+	rates := make([]float64, n)
+	good := true
+	for i := range rates {
+		if rng.Float64() < pSwitch {
+			good = !good
+		}
+		base := badBps
+		if good {
+			base = goodBps
+		}
+		// ±10% jitter.
+		rates[i] = base * (0.9 + 0.2*rng.Float64())
+	}
+	return &Trace{Step: 1, Rates: rates}
+}
+
+// WalkTrace is a bounded multiplicative random walk between lo and hi.
+func WalkTrace(startBps, lo, hi, duration float64, seed int64) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(duration) + 1
+	rates := make([]float64, n)
+	cur := startBps
+	for i := range rates {
+		cur *= 1 + 0.2*(rng.Float64()-0.5)
+		if cur < lo {
+			cur = lo
+		}
+		if cur > hi {
+			cur = hi
+		}
+		rates[i] = cur
+	}
+	return &Trace{Step: 1, Rates: rates}
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Silhouette returns the mean silhouette coefficient of a clustering: for
+// each point, s = (b − a) / max(a, b) where a is the mean distance to
+// points of its own cluster and b the smallest mean distance to any other
+// cluster. Values near 1 indicate cohesive, well-separated clusters
+// (paper §3.1.2). Points in singleton clusters contribute 0 by convention.
+// The clustering must use at least 2 clusters.
+func Silhouette(points [][]float64, assign []int, k int) (float64, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("cluster: silhouette requires k >= 2, got %d", k)
+	}
+	n := len(points)
+	if len(assign) != n {
+		return 0, fmt.Errorf("cluster: assign length %d != %d points", len(assign), n)
+	}
+	sizes := make([]int, k)
+	for i, a := range assign {
+		if a < 0 || a >= k {
+			return 0, fmt.Errorf("cluster: point %d assigned to invalid cluster %d", i, a)
+		}
+		sizes[a]++
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		ci := assign[i]
+		if sizes[ci] <= 1 {
+			continue // s(i) = 0
+		}
+		// Mean distance to every cluster.
+		sums := make([]float64, k)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sums[assign[j]] += math.Sqrt(sqDist(points[i], points[j]))
+		}
+		a := sums[ci] / float64(sizes[ci]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == ci || sizes[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+		}
+	}
+	return total / float64(n), nil
+}
+
+// Sweep holds the silhouette score obtained at one K.
+type Sweep struct {
+	K          int
+	Silhouette float64
+	Result     *Result
+}
+
+// SweepK clusters points with global k-means for every k in [2, maxK] and
+// returns the per-k silhouette scores (the curve of paper Fig 5). maxK is
+// clipped to len(points)−1 (silhouette is undefined when every point is
+// its own cluster).
+func SweepK(points [][]float64, maxK int) ([]Sweep, error) {
+	if maxK > len(points)-1 {
+		maxK = len(points) - 1
+	}
+	if maxK < 2 {
+		return nil, fmt.Errorf("cluster: need at least 3 points to sweep K, have %d", len(points))
+	}
+	var sweeps []Sweep
+	for k := 2; k <= maxK; k++ {
+		r, err := GlobalKMeans(points, k, 0)
+		if err != nil {
+			return nil, err
+		}
+		s, err := Silhouette(points, r.Assign, k)
+		if err != nil {
+			return nil, err
+		}
+		sweeps = append(sweeps, Sweep{K: k, Silhouette: s, Result: r})
+	}
+	return sweeps, nil
+}
+
+// SelectK implements paper Eq. 2–3: it sweeps k from 2 to maxK and returns
+// the clustering with the maximum silhouette coefficient, where maxK is
+// the deployment constraint ⌊|M_big| / |M_min|⌋ — the number of micro
+// models whose combined size still does not exceed one big model.
+func SelectK(points [][]float64, bigModelBytes, minModelBytes int) (*Result, []Sweep, error) {
+	if minModelBytes <= 0 {
+		return nil, nil, fmt.Errorf("cluster: minimum model size must be positive")
+	}
+	maxK := bigModelBytes / minModelBytes
+	if maxK < 2 {
+		maxK = 2
+	}
+	sweeps, err := SweepK(points, maxK)
+	if err != nil {
+		return nil, nil, err
+	}
+	best := sweeps[0]
+	for _, s := range sweeps[1:] {
+		if s.Silhouette > best.Silhouette {
+			best = s
+		}
+	}
+	return best.Result, sweeps, nil
+}

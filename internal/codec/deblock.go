@@ -1,0 +1,61 @@
+package codec
+
+import "dcsr/internal/video"
+
+// In-loop deblocking filter (opt-in via EncoderConfig.Deblock, signaled
+// per frame). Block-based coding at high QP leaves visible discontinuities
+// at 4×4 block boundaries; this filter smooths boundary pixel pairs whose
+// step is small enough to be a coding artifact rather than a real edge
+// (the H.263 Annex J idea, radically simplified). Being in-loop, the
+// encoder applies it to its reconstruction exactly as the decoder does,
+// so prediction references stay bit-identical.
+
+// deblockThreshold maps the quantizer step to the maximum boundary step
+// treated as an artifact.
+func deblockThreshold(qstep float64) int32 {
+	t := int32(qstep / 2)
+	if t < 2 {
+		t = 2
+	}
+	if t > 24 {
+		t = 24
+	}
+	return t
+}
+
+// deblockPlane smooths 4×4 block boundaries of one plane in place.
+func deblockPlane(p []uint8, w, h int, thr int32) {
+	// Vertical boundaries.
+	for x := blockSize; x < w; x += blockSize {
+		for y := 0; y < h; y++ {
+			i := y*w + x
+			a, b := int32(p[i-1]), int32(p[i])
+			d := b - a
+			if d > -thr && d < thr {
+				p[i-1] = clamp8(a + d/4)
+				p[i] = clamp8(b - d/4)
+			}
+		}
+	}
+	// Horizontal boundaries.
+	for y := blockSize; y < h; y += blockSize {
+		row := p[y*w:]
+		prev := p[(y-1)*w:]
+		for x := 0; x < w; x++ {
+			a, b := int32(prev[x]), int32(row[x])
+			d := b - a
+			if d > -thr && d < thr {
+				prev[x] = clamp8(a + d/4)
+				row[x] = clamp8(b - d/4)
+			}
+		}
+	}
+}
+
+// deblockFrame filters all three planes of a reconstructed frame.
+func deblockFrame(f *video.YUV, qstep float64) {
+	thr := deblockThreshold(qstep)
+	deblockPlane(f.Y, f.W, f.H, thr)
+	deblockPlane(f.U, f.ChromaW(), f.ChromaH(), thr)
+	deblockPlane(f.V, f.ChromaW(), f.ChromaH(), thr)
+}

@@ -1,0 +1,119 @@
+package codec
+
+import (
+	"testing"
+)
+
+// blockiness measures the mean absolute luma step across 4×4 block
+// boundaries minus the mean step at non-boundary columns — positive values
+// mean visible blocking structure.
+func blockiness(y []uint8, w, h int) float64 {
+	var boundary, inner float64
+	var nb, ni int
+	for yy := 0; yy < h; yy++ {
+		for x := 1; x < w; x++ {
+			d := float64(y[yy*w+x]) - float64(y[yy*w+x-1])
+			if d < 0 {
+				d = -d
+			}
+			if x%blockSize == 0 {
+				boundary += d
+				nb++
+			} else {
+				inner += d
+				ni++
+			}
+		}
+	}
+	return boundary/float64(nb) - inner/float64(ni)
+}
+
+func TestDeblockRoundTrip(t *testing.T) {
+	frames := testClipYUV(t, 64, 48, 2, 55)
+	st, err := Encode(frames, nil, 30, EncoderConfig{QP: 45, Deblock: true, BFrames: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Decoder
+	out, err := d.Decode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(frames) {
+		t.Fatalf("decoded %d frames", len(out))
+	}
+	for i := range frames {
+		if p := psnrY(frames[i], out[i]); p < 22 {
+			t.Errorf("frame %d: PSNR %.1f collapsed with deblocking", i, p)
+		}
+	}
+}
+
+func TestDeblockReducesBlockiness(t *testing.T) {
+	frames := testClipYUV(t, 64, 48, 1, 56)
+	var on, off float64
+	for _, deblock := range []bool{false, true} {
+		st, err := Encode(frames, nil, 30, EncoderConfig{QP: 48, Deblock: deblock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d Decoder
+		out, err := d.Decode(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b float64
+		for _, f := range out {
+			b += blockiness(f.Y, f.W, f.H)
+		}
+		b /= float64(len(out))
+		if deblock {
+			on = b
+		} else {
+			off = b
+		}
+	}
+	t.Logf("blockiness: filter off %.3f, on %.3f", off, on)
+	if on >= off {
+		t.Errorf("deblocking did not reduce boundary structure: %.3f -> %.3f", off, on)
+	}
+}
+
+func TestDeblockPreservesQualityRoughly(t *testing.T) {
+	frames := testClipYUV(t, 64, 48, 1, 57)
+	var pOn, pOff float64
+	for _, deblock := range []bool{false, true} {
+		st, err := Encode(frames, nil, 30, EncoderConfig{QP: 48, Deblock: deblock})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d Decoder
+		out, err := d.Decode(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var p float64
+		for i := range frames {
+			p += psnrY(frames[i], out[i])
+		}
+		p /= float64(len(frames))
+		if deblock {
+			pOn = p
+		} else {
+			pOff = p
+		}
+	}
+	t.Logf("PSNR: filter off %.2f dB, on %.2f dB", pOff, pOn)
+	if pOn < pOff-1.0 {
+		t.Errorf("deblocking cost %.2f dB; the filter is too aggressive", pOff-pOn)
+	}
+}
+
+func TestDeblockThresholdBounds(t *testing.T) {
+	if deblockThreshold(0.1) != 2 {
+		t.Error("low-QP threshold should clamp to 2")
+	}
+	if deblockThreshold(1000) != 24 {
+		t.Error("high-QP threshold should clamp to 24")
+	}
+}

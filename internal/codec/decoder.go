@@ -1,0 +1,534 @@
+package codec
+
+import (
+	"fmt"
+
+	"dcsr/internal/video"
+)
+
+// FrameEnhancer is the client-side dcSR hook: after the decoder
+// reconstructs an I frame into the decoded picture buffer it pauses,
+// hands the frame to the enhancer, and stores the result back in the DPB
+// before any P or B frame references it (paper Fig 6, steps 2–5). The
+// returned frame must have the same dimensions as the input so the
+// remaining motion-compensated decoding stays valid; color conversion
+// (YUV→RGB→YUV) happens inside the enhancer.
+type FrameEnhancer interface {
+	EnhanceIFrame(display int, f *video.YUV) *video.YUV
+}
+
+// EnhancerFunc adapts a function to the FrameEnhancer interface.
+type EnhancerFunc func(display int, f *video.YUV) *video.YUV
+
+// EnhanceIFrame calls the function.
+func (fn EnhancerFunc) EnhanceIFrame(display int, f *video.YUV) *video.YUV {
+	return fn(display, f)
+}
+
+// Propagation selects how I-frame enhancement reaches dependent frames.
+type Propagation int
+
+// Propagation modes.
+const (
+	// PropagateReplace is the paper-literal mechanism (Fig 6): the
+	// enhanced I frame replaces the original in the DPB and the remaining
+	// frames decode against it. Coded P/B residuals were produced against
+	// the *unenhanced* reconstruction, so they partially double-correct —
+	// the "quality drift" the paper mentions.
+	PropagateReplace Propagation = iota
+	// PropagateDelta is the drift-free variant (NEMO-style quality
+	// transfer): P and B frames decode against the plain reference chain
+	// exactly as encoded, and the enhancement delta (enhanced − plain)
+	// rides along motion compensation into every dependent frame. This is
+	// the default used by the dcSR player; the ablation benchmark
+	// compares the two modes.
+	PropagateDelta
+)
+
+// refPair tracks the two parallel reconstructions of a reference frame:
+// the bitstream-consistent plain decode and the enhancement-carrying
+// version shown to the user.
+type refPair struct {
+	plain *video.YUV
+	enh   *video.YUV
+
+	// cached (enh − plain) planes for delta motion compensation
+	dy, du, dv []int16
+}
+
+func newRefPair(plain, enh *video.YUV) *refPair {
+	return &refPair{plain: plain, enh: enh}
+}
+
+// hasDelta reports whether the enhanced version differs from the plain one.
+func (rp *refPair) hasDelta() bool { return rp.enh != rp.plain }
+
+// deltas lazily computes the enhancement difference planes.
+func (rp *refPair) deltas() (dy, du, dv []int16) {
+	if rp.dy == nil {
+		rp.dy = diffPlane(rp.enh.Y, rp.plain.Y)
+		rp.du = diffPlane(rp.enh.U, rp.plain.U)
+		rp.dv = diffPlane(rp.enh.V, rp.plain.V)
+	}
+	return rp.dy, rp.du, rp.dv
+}
+
+func diffPlane(a, b []uint8) []int16 {
+	d := make([]int16, len(a))
+	for i := range a {
+		d[i] = int16(a[i]) - int16(b[i])
+	}
+	return d
+}
+
+// fetchDelta motion-compensates a bw×bh block of an int16 delta plane.
+func fetchDelta(src []int16, pw, ph, x, y int, m mv, bw, bh int, dst []int32) {
+	for by := 0; by < bh; by++ {
+		sy := clampi(y+m.y+by, 0, ph-1)
+		row := src[sy*pw:]
+		for bx := 0; bx < bw; bx++ {
+			sx := clampi(x+m.x+bx, 0, pw-1)
+			dst[by*bw+bx] = int32(row[sx])
+		}
+	}
+}
+
+// fetchDeltaHP is fetchDelta with half-pel bilinear interpolation.
+func fetchDeltaHP(src []int16, pw, ph, x, y int, m mv, bw, bh int, dst []int32) {
+	ix, iy := floorDiv2(m.x), floorDiv2(m.y)
+	fx, fy := m.x&1, m.y&1
+	if fx == 0 && fy == 0 {
+		fetchDelta(src, pw, ph, x, y, mv{ix, iy}, bw, bh, dst)
+		return
+	}
+	at := func(px, py int) int32 {
+		return int32(src[clampi(py, 0, ph-1)*pw+clampi(px, 0, pw-1)])
+	}
+	for by := 0; by < bh; by++ {
+		sy := y + iy + by
+		for bx := 0; bx < bw; bx++ {
+			sx := x + ix + bx
+			dst[by*bw+bx] = (at(sx, sy) + at(sx+fx, sy) + at(sx, sy+fy) + at(sx+fx, sy+fy) + 2) / 4
+		}
+	}
+}
+
+// DecodeStats records what a decode pass did; the device model consumes
+// these counts to estimate latency and power.
+type DecodeStats struct {
+	IFrames, PFrames, BFrames int
+	Enhanced                  int // number of FrameEnhancer invocations
+	Bits                      int
+}
+
+// Frames returns the total decoded frame count.
+func (s DecodeStats) Frames() int { return s.IFrames + s.PFrames + s.BFrames }
+
+// Decoder decodes a Stream. If Enhancer is non-nil it is applied to every
+// I frame in the DPB before dependent frames are decoded, so the
+// enhancement propagates to P and B frames — the core client-side dcSR
+// mechanism. Mode selects between the paper-literal DPB replacement and
+// drift-free delta propagation. The zero value is a ready-to-use decoder
+// without enhancement.
+type Decoder struct {
+	Enhancer FrameEnhancer
+	Mode     Propagation
+	Stats    DecodeStats
+}
+
+// Decode reconstructs all frames of s in display order.
+func (d *Decoder) Decode(s *Stream) ([]*video.YUV, error) {
+	if s.W%mbSize != 0 || s.H%mbSize != 0 {
+		return nil, fmt.Errorf("codec: stream dimensions %dx%d invalid", s.W, s.H)
+	}
+	out := make([]*video.YUV, frameSpan(s))
+	var prevAnchor, lastAnchor *refPair
+	for i := range s.Frames {
+		ef := &s.Frames[i]
+		r := NewBitReader(ef.Data)
+		qpBits, err := r.ReadBits(6)
+		if err != nil {
+			return nil, err
+		}
+		qstep := QStep(int(qpBits))
+		var display *video.YUV
+		switch ef.Type {
+		case FrameI:
+			f, err := decodeIFrame(r, s.W, s.H, qstep)
+			if err != nil {
+				return nil, fmt.Errorf("codec: I frame %d: %w", ef.Display, err)
+			}
+			d.Stats.IFrames++
+			enh := f
+			if d.Enhancer != nil {
+				enh = d.Enhancer.EnhanceIFrame(ef.Display, f)
+				if enh.W != f.W || enh.H != f.H {
+					return nil, fmt.Errorf("codec: enhancer changed frame dimensions %dx%d -> %dx%d", f.W, f.H, enh.W, enh.H)
+				}
+				d.Stats.Enhanced++
+			}
+			pair := newRefPair(f, enh)
+			if d.Mode == PropagateReplace {
+				// Paper Fig 6: the enhanced frame replaces the decoded one
+				// in the DPB; dependent frames reference it directly.
+				pair = newRefPair(enh, enh)
+			}
+			display = enh
+			prevAnchor, lastAnchor = lastAnchor, pair
+		case FrameP:
+			if lastAnchor == nil {
+				return nil, fmt.Errorf("codec: P frame %d before any anchor", ef.Display)
+			}
+			pair, err := decodePFrame(r, s.W, s.H, lastAnchor, qstep)
+			if err != nil {
+				return nil, fmt.Errorf("codec: P frame %d: %w", ef.Display, err)
+			}
+			d.Stats.PFrames++
+			display = pair.enh
+			prevAnchor, lastAnchor = lastAnchor, pair
+		case FrameB:
+			if prevAnchor == nil || lastAnchor == nil {
+				return nil, fmt.Errorf("codec: B frame %d lacks two anchors", ef.Display)
+			}
+			f, err := decodeBFrame(r, s.W, s.H, prevAnchor, lastAnchor, qstep)
+			if err != nil {
+				return nil, fmt.Errorf("codec: B frame %d: %w", ef.Display, err)
+			}
+			d.Stats.BFrames++
+			display = f
+		default:
+			return nil, fmt.Errorf("codec: unknown frame type %d", ef.Type)
+		}
+		d.Stats.Bits += len(ef.Data) * 8
+		if ef.Display < 0 || ef.Display >= len(out) {
+			return nil, fmt.Errorf("codec: display index %d out of range", ef.Display)
+		}
+		out[ef.Display] = display
+	}
+	for i, f := range out {
+		if f == nil {
+			return nil, fmt.Errorf("codec: display slot %d never decoded", i)
+		}
+	}
+	return out, nil
+}
+
+// frameSpan returns 1 + the maximum display index.
+func frameSpan(s *Stream) int {
+	maxDisplay := -1
+	for _, f := range s.Frames {
+		if f.Display > maxDisplay {
+			maxDisplay = f.Display
+		}
+	}
+	return maxDisplay + 1
+}
+
+func decodeIFrame(r *BitReader, w, h int, qstep float64) (*video.YUV, error) {
+	dbBit, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	f := video.NewYUV(w, h)
+	if err := decodePlaneIntra(r, f.Y, w, h, qstep); err != nil {
+		return nil, err
+	}
+	if err := decodePlaneIntra(r, f.U, f.ChromaW(), f.ChromaH(), qstep); err != nil {
+		return nil, err
+	}
+	if err := decodePlaneIntra(r, f.V, f.ChromaW(), f.ChromaH(), qstep); err != nil {
+		return nil, err
+	}
+	if dbBit == 1 {
+		deblockFrame(f, qstep)
+	}
+	return f, nil
+}
+
+func decodePlaneIntra(r *BitReader, rec []uint8, pw, ph int, qstep float64) error {
+	var res [16]float64
+	var levels [16]int32
+	var pred [16]int32
+	for y := 0; y < ph; y += blockSize {
+		for x := 0; x < pw; x += blockSize {
+			mode, err := r.ReadUE()
+			if err != nil {
+				return err
+			}
+			if mode > intraH {
+				return fmt.Errorf("%w: bad intra mode %d", ErrBitstream, mode)
+			}
+			if err := readLevels(r, &levels); err != nil {
+				return err
+			}
+			intraPredict(rec, pw, x, y, int(mode), &pred)
+			dequantizeBlock(&levels, qstep, &res)
+			for by := 0; by < blockSize; by++ {
+				for bx := 0; bx < blockSize; bx++ {
+					rec[(y+by)*pw+x+bx] = clampPix(float64(pred[by*blockSize+bx]) + res[by*blockSize+bx])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// readMBLevels decodes all 24 coefficient blocks of a macroblock.
+func readMBLevels(r *BitReader, lv *mbLevels) error {
+	for i := range lv.luma {
+		if err := readLevels(r, &lv.luma[i]); err != nil {
+			return err
+		}
+	}
+	for i := range lv.chromU {
+		if err := readLevels(r, &lv.chromU[i]); err != nil {
+			return err
+		}
+	}
+	for i := range lv.chromV {
+		if err := readLevels(r, &lv.chromV[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyMBDelta adds the motion-compensated enhancement delta of ref to the
+// plain macroblock reconstruction, writing the result into enh. The
+// transfer is gated per 4×4 block: where the bitstream coded a residual,
+// the encoder already corrected the block against its own (unenhanced)
+// reference, so overwriting it with the enhancement delta would fight the
+// coded correction — those blocks keep the plain reconstruction. Blocks
+// with no coded residual (the vast majority at CRF-51-like rates) inherit
+// the reference enhancement through motion compensation. Pass a second
+// reference to average two deltas (bi-prediction for B frames).
+func applyMBDelta(plain, enh planes, mx, my int, lv *mbLevels, hp bool, ref *refPair, m mv, ref2 *refPair, m2 mv) {
+	buf := make([]int32, mbSize*mbSize)
+	buf2 := make([]int32, mbSize*mbSize)
+	addPlane := func(dst, src []uint8, pw, ph int, d1, d2 []int16, x0, y0, bw, bh int, mm, mm2 mv, bi, hpPlane bool, coded func(bx, by int) bool) {
+		if hpPlane {
+			fetchDeltaHP(d1, pw, ph, x0, y0, mm, bw, bh, buf[:bw*bh])
+		} else {
+			fetchDelta(d1, pw, ph, x0, y0, mm, bw, bh, buf[:bw*bh])
+		}
+		if bi {
+			if hpPlane {
+				fetchDeltaHP(d2, pw, ph, x0, y0, mm2, bw, bh, buf2[:bw*bh])
+			} else {
+				fetchDelta(d2, pw, ph, x0, y0, mm2, bw, bh, buf2[:bw*bh])
+			}
+		}
+		for by := 0; by < bh; by++ {
+			for bx := 0; bx < bw; bx++ {
+				pos := (y0+by)*pw + x0 + bx
+				if coded(bx, by) {
+					dst[pos] = src[pos]
+					continue
+				}
+				dv := buf[by*bw+bx]
+				if bi {
+					dv = (dv + buf2[by*bw+bx] + 1) / 2
+				}
+				dst[pos] = clamp8(int32(src[pos]) + dv)
+			}
+		}
+	}
+	bi := ref2 != nil
+	var d2y, d2u, d2v []int16
+	dy, du, dv := ref.deltas()
+	if bi {
+		d2y, d2u, d2v = ref2.deltas()
+	}
+	blockCoded := func(blocks *[16]int32) bool {
+		for _, v := range blocks {
+			if v != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	lumaCoded := func(bx, by int) bool {
+		return blockCoded(&lv.luma[(by/blockSize)*4+bx/blockSize])
+	}
+	uCoded := func(bx, by int) bool {
+		return blockCoded(&lv.chromU[(by/blockSize)*2+bx/blockSize])
+	}
+	vCoded := func(bx, by int) bool {
+		return blockCoded(&lv.chromV[(by/blockSize)*2+bx/blockSize])
+	}
+	cm := mv{m.x / 2, m.y / 2}
+	cm2 := mv{m2.x / 2, m2.y / 2}
+	if hp {
+		cm = mv{roundDiv(m.x, 4), roundDiv(m.y, 4)}
+		cm2 = mv{roundDiv(m2.x, 4), roundDiv(m2.y, 4)}
+	}
+	addPlane(enh.y, plain.y, plain.lw, plain.lh, dy, d2y, mx*mbSize, my*mbSize, mbSize, mbSize, m, m2, bi, hp, lumaCoded)
+	addPlane(enh.u, plain.u, plain.cw, plain.ch, du, d2u, mx*8, my*8, 8, 8, cm, cm2, bi, false, uCoded)
+	addPlane(enh.v, plain.v, plain.cw, plain.ch, dv, d2v, mx*8, my*8, 8, 8, cm, cm2, bi, false, vCoded)
+}
+
+func clamp8(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+func decodePFrame(r *BitReader, w, h int, ref *refPair, qstep float64) (*refPair, error) {
+	hpBit, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	hp := hpBit == 1
+	dbBit, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	f := video.NewYUV(w, h)
+	refp, recp := framePlanes(ref.plain), framePlanes(f)
+	carry := ref.hasDelta()
+	var enhFrame *video.YUV
+	var enhp planes
+	if carry {
+		enhFrame = video.NewYUV(w, h)
+		enhp = framePlanes(enhFrame)
+	}
+	mbW, mbH := w/mbSize, h/mbSize
+	predY := make([]int32, mbSize*mbSize)
+	predU := make([]int32, 8*8)
+	predV := make([]int32, 8*8)
+	var lv mbLevels
+	var zero mbLevels
+	for my := 0; my < mbH; my++ {
+		predMV := mv{0, 0}
+		for mx := 0; mx < mbW; mx++ {
+			mode, err := r.ReadUE()
+			if err != nil {
+				return nil, err
+			}
+			var m mv
+			cur := &zero
+			switch mode {
+			case mbSkip:
+				predictMB(refp, mx, my, mv{0, 0}, hp, predY, predU, predV)
+				reconMB(recp, mx, my, predY, predU, predV, &zero, qstep)
+				predMV = mv{0, 0}
+			case mbCoded:
+				dx, err := r.ReadSE()
+				if err != nil {
+					return nil, err
+				}
+				dy, err := r.ReadSE()
+				if err != nil {
+					return nil, err
+				}
+				m = mv{predMV.x + int(dx), predMV.y + int(dy)}
+				if err := readMBLevels(r, &lv); err != nil {
+					return nil, err
+				}
+				predictMB(refp, mx, my, m, hp, predY, predU, predV)
+				reconMB(recp, mx, my, predY, predU, predV, &lv, qstep)
+				predMV = m
+				cur = &lv
+			default:
+				return nil, fmt.Errorf("%w: bad P macroblock mode %d", ErrBitstream, mode)
+			}
+			if carry {
+				applyMBDelta(recp, enhp, mx, my, cur, hp, ref, m, nil, mv{})
+			}
+		}
+	}
+	if dbBit == 1 {
+		deblockFrame(f, qstep)
+		if carry {
+			deblockFrame(enhFrame, qstep)
+		}
+	}
+	if !carry {
+		return newRefPair(f, f), nil
+	}
+	return newRefPair(f, enhFrame), nil
+}
+
+func decodeBFrame(r *BitReader, w, h int, fwd, bwd *refPair, qstep float64) (*video.YUV, error) {
+	hpBit, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	hp := hpBit == 1
+	dbBit, err := r.ReadBit()
+	if err != nil {
+		return nil, err
+	}
+	f := video.NewYUV(w, h)
+	fp, bp, recp := framePlanes(fwd.plain), framePlanes(bwd.plain), framePlanes(f)
+	carry := fwd.hasDelta() || bwd.hasDelta()
+	var enhFrame *video.YUV
+	var enhp planes
+	if carry {
+		enhFrame = video.NewYUV(w, h)
+		enhp = framePlanes(enhFrame)
+		// Ensure both refs expose deltas (zero deltas if plain == enh).
+		fwd.deltas()
+		bwd.deltas()
+	}
+	mbW, mbH := w/mbSize, h/mbSize
+	predY := make([]int32, mbSize*mbSize)
+	predU := make([]int32, 8*8)
+	predV := make([]int32, 8*8)
+	var lv mbLevels
+	var zero mbLevels
+	for my := 0; my < mbH; my++ {
+		predMV0, predMV1 := mv{0, 0}, mv{0, 0}
+		for mx := 0; mx < mbW; mx++ {
+			mode, err := r.ReadUE()
+			if err != nil {
+				return nil, err
+			}
+			var m0, m1 mv
+			cur := &zero
+			switch mode {
+			case mbSkip:
+				predictMBBi(fp, bp, mx, my, mv{0, 0}, mv{0, 0}, hp, predY, predU, predV)
+				reconMB(recp, mx, my, predY, predU, predV, &zero, qstep)
+				predMV0, predMV1 = mv{0, 0}, mv{0, 0}
+			case mbCoded:
+				var d [4]int32
+				for i := range d {
+					v, err := r.ReadSE()
+					if err != nil {
+						return nil, err
+					}
+					d[i] = v
+				}
+				m0 = mv{predMV0.x + int(d[0]), predMV0.y + int(d[1])}
+				m1 = mv{predMV1.x + int(d[2]), predMV1.y + int(d[3])}
+				if err := readMBLevels(r, &lv); err != nil {
+					return nil, err
+				}
+				predictMBBi(fp, bp, mx, my, m0, m1, hp, predY, predU, predV)
+				reconMB(recp, mx, my, predY, predU, predV, &lv, qstep)
+				predMV0, predMV1 = m0, m1
+				cur = &lv
+			default:
+				return nil, fmt.Errorf("%w: bad B macroblock mode %d", ErrBitstream, mode)
+			}
+			if carry {
+				applyMBDelta(recp, enhp, mx, my, cur, hp, fwd, m0, bwd, m1)
+			}
+		}
+	}
+	if dbBit == 1 {
+		deblockFrame(f, qstep)
+		if carry {
+			deblockFrame(enhFrame, qstep)
+		}
+	}
+	if carry {
+		return enhFrame, nil
+	}
+	return f, nil
+}

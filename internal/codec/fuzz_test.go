@@ -1,0 +1,113 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+
+	"dcsr/internal/video"
+)
+
+// TestDecodeNeverPanicsOnCorruption flips random bits/bytes in a valid
+// stream and asserts the decoder returns errors instead of panicking or
+// allocating absurd amounts. This is the property a client needs when the
+// network hands it garbage.
+func TestDecodeNeverPanicsOnCorruption(t *testing.T) {
+	frames := testClipYUV(t, 48, 32, 2, 77)
+	st, err := Encode(frames, nil, 30, EncoderConfig{QP: 35, BFrames: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := st.Marshal()
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		data := append([]byte(nil), orig...)
+		// Corrupt 1–8 random bytes.
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: decoder panicked: %v", trial, r)
+				}
+			}()
+			s2, err := Unmarshal(data)
+			if err != nil {
+				return // rejected at parse time: fine
+			}
+			var d Decoder
+			_, _ = d.Decode(s2) // errors are fine; panics are not
+		}()
+	}
+}
+
+// TestDecodeNeverPanicsOnTruncation checks every truncation point of the
+// container parses or fails cleanly.
+func TestDecodeNeverPanicsOnTruncation(t *testing.T) {
+	frames := testClipYUV(t, 32, 32, 1, 78)
+	st, err := Encode(frames, nil, 30, EncoderConfig{QP: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := st.Marshal()
+	step := len(orig)/64 + 1
+	for cut := 0; cut < len(orig); cut += step {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("cut %d: panicked: %v", cut, r)
+				}
+			}()
+			if s2, err := Unmarshal(orig[:cut]); err == nil {
+				var d Decoder
+				_, _ = d.Decode(s2)
+			}
+		}()
+	}
+}
+
+// TestDecodeRandomGarbage feeds entirely random bytes.
+func TestDecodeRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, rng.Intn(2000))
+		rng.Read(data)
+		// Make some trials look like streams (right magic).
+		if trial%3 == 0 && len(data) >= 4 {
+			copy(data, streamMagic)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panicked: %v", trial, r)
+				}
+			}()
+			if s2, err := Unmarshal(data); err == nil {
+				var d Decoder
+				_, _ = d.Decode(s2)
+			}
+		}()
+	}
+}
+
+// TestUnmarshalRejectsAbsurdHeaders confirms the sanity bounds.
+func TestUnmarshalRejectsAbsurdHeaders(t *testing.T) {
+	frames := []*video.YUV{video.NewYUV(32, 32)}
+	st, err := Encode(frames, nil, 30, EncoderConfig{QP: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := st.Marshal()
+	// Absurd width.
+	bad := append([]byte(nil), data...)
+	bad[4], bad[5], bad[6], bad[7] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("absurd width accepted")
+	}
+	// Absurd display index.
+	bad2 := append([]byte(nil), data...)
+	bad2[21], bad2[22], bad2[23], bad2[24] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := Unmarshal(bad2); err == nil {
+		t.Error("absurd display index accepted")
+	}
+}

@@ -1,0 +1,197 @@
+package codec
+
+import "dcsr/internal/video"
+
+// Motion-compensation helpers. All motion is full-pel; reference reads are
+// edge-clamped, which matches the unrestricted-motion-vector behaviour of
+// modern codecs without needing padded reference planes.
+
+// mv is a full-pel motion vector in luma units.
+type mv struct{ x, y int }
+
+// clampi clamps v into [lo, hi].
+func clampi(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Half-pel support: when a frame is coded with half-pel motion, vectors
+// are expressed in half-sample units and prediction samples at fractional
+// positions are bilinearly interpolated (H.264 uses a 6-tap filter for
+// luma; bilinear is the documented simplification here). Chroma vectors
+// round to the nearest full chroma sample.
+
+// floorDiv2 divides by 2 rounding toward −∞ (half-pel integer part).
+func floorDiv2(v int) int {
+	if v < 0 {
+		return (v - 1) / 2
+	}
+	return v / 2
+}
+
+// fetchBlockHP copies a bw×bh block displaced by the half-pel vector m
+// from src into dst, bilinearly interpolating fractional positions.
+func fetchBlockHP(src []uint8, pw, ph, x, y int, m mv, bw, bh int, dst []int32) {
+	ix, iy := floorDiv2(m.x), floorDiv2(m.y)
+	fx, fy := m.x&1, m.y&1
+	if fx == 0 && fy == 0 {
+		fetchBlock(src, pw, ph, x, y, mv{ix, iy}, bw, bh, dst)
+		return
+	}
+	at := func(px, py int) int32 {
+		return int32(src[clampi(py, 0, ph-1)*pw+clampi(px, 0, pw-1)])
+	}
+	for by := 0; by < bh; by++ {
+		sy := y + iy + by
+		for bx := 0; bx < bw; bx++ {
+			sx := x + ix + bx
+			a := at(sx, sy)
+			b := at(sx+fx, sy)
+			c := at(sx, sy+fy)
+			d := at(sx+fx, sy+fy)
+			dst[by*bw+bx] = (a + b + c + d + 2) / 4
+		}
+	}
+}
+
+// sadBlockHP is sadBlock at half-pel precision.
+func sadBlockHP(cur, ref []uint8, pw, ph, x, y int, m mv, bw, bh int) int {
+	tmp := make([]int32, bw*bh)
+	fetchBlockHP(ref, pw, ph, x, y, m, bw, bh, tmp)
+	var sad int
+	for by := 0; by < bh; by++ {
+		row := cur[(y+by)*pw:]
+		for bx := 0; bx < bw; bx++ {
+			d := int(row[x+bx]) - int(tmp[by*bw+bx])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}
+
+// refineHalfPel upgrades a full-pel winner to half-pel by trying the 8
+// surrounding half-sample offsets; returns the vector in half-pel units.
+func refineHalfPel(cur, ref []uint8, pw, ph, x, y int, full mv) mv {
+	best := mv{full.x * 2, full.y * 2}
+	bestSAD := sadBlock(cur, ref, pw, ph, x, y, full, mbSize, mbSize)
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			cand := mv{full.x*2 + dx, full.y*2 + dy}
+			if sad := sadBlockHP(cur, ref, pw, ph, x, y, cand, mbSize, mbSize); sad < bestSAD {
+				best, bestSAD = cand, sad
+			}
+		}
+	}
+	return best
+}
+
+// fetchBlock copies a bw×bh block at (x+m.x, y+m.y) from plane src
+// (dimensions pw×ph) into dst, clamping reads at the plane edges.
+func fetchBlock(src []uint8, pw, ph, x, y int, m mv, bw, bh int, dst []int32) {
+	for by := 0; by < bh; by++ {
+		sy := clampi(y+m.y+by, 0, ph-1)
+		row := src[sy*pw:]
+		for bx := 0; bx < bw; bx++ {
+			sx := clampi(x+m.x+bx, 0, pw-1)
+			dst[by*bw+bx] = int32(row[sx])
+		}
+	}
+}
+
+// fetchBlockAvg fetches the rounded average of two motion-compensated
+// blocks (bi-prediction for B frames).
+func fetchBlockAvg(src0 []uint8, m0 mv, src1 []uint8, m1 mv, pw, ph, x, y, bw, bh int, dst []int32) {
+	tmp0 := make([]int32, bw*bh)
+	tmp1 := make([]int32, bw*bh)
+	fetchBlock(src0, pw, ph, x, y, m0, bw, bh, tmp0)
+	fetchBlock(src1, pw, ph, x, y, m1, bw, bh, tmp1)
+	for i := range dst {
+		dst[i] = (tmp0[i] + tmp1[i] + 1) / 2
+	}
+}
+
+// sadBlock computes the sum of absolute differences between the cur block
+// at (x, y) and the reference block displaced by m.
+func sadBlock(cur, ref []uint8, pw, ph, x, y int, m mv, bw, bh int) int {
+	var sad int
+	for by := 0; by < bh; by++ {
+		cy := y + by
+		curRow := cur[cy*pw:]
+		sy := clampi(cy+m.y, 0, ph-1)
+		refRow := ref[sy*pw:]
+		for bx := 0; bx < bw; bx++ {
+			cx := x + bx
+			sx := clampi(cx+m.x, 0, pw-1)
+			d := int(curRow[cx]) - int(refRow[sx])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	return sad
+}
+
+// searchMV finds the motion vector minimizing SAD for the 16×16 luma block
+// at (x, y) using a two-stage search: a coarse step-4 scan over ±rng
+// followed by a local step-1 refinement. pred biases tie-breaking toward
+// the predicted vector so MV fields stay smooth (cheaper to entropy-code).
+func searchMV(cur, ref []uint8, pw, ph, x, y, rng int, pred mv) (best mv, bestSAD int) {
+	best = mv{0, 0}
+	bestSAD = sadBlock(cur, ref, pw, ph, x, y, best, mbSize, mbSize)
+	if psad := sadBlock(cur, ref, pw, ph, x, y, pred, mbSize, mbSize); psad < bestSAD {
+		best, bestSAD = pred, psad
+	}
+	// Coarse scan.
+	for dy := -rng; dy <= rng; dy += 4 {
+		for dx := -rng; dx <= rng; dx += 4 {
+			cand := mv{dx, dy}
+			if cand == best {
+				continue
+			}
+			if sad := sadBlock(cur, ref, pw, ph, x, y, cand, mbSize, mbSize); sad < bestSAD {
+				best, bestSAD = cand, sad
+			}
+		}
+	}
+	// Local refinement around the coarse winner.
+	for {
+		improved := false
+		for _, d := range [...]mv{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {-1, -1}, {1, -1}, {-1, 1}} {
+			cand := mv{best.x + d.x, best.y + d.y}
+			if cand.x < -rng || cand.x > rng || cand.y < -rng || cand.y > rng {
+				continue
+			}
+			if sad := sadBlock(cur, ref, pw, ph, x, y, cand, mbSize, mbSize); sad < bestSAD {
+				best, bestSAD = cand, sad
+				improved = true
+			}
+		}
+		if !improved {
+			return best, bestSAD
+		}
+	}
+}
+
+// planes bundles the three planes of a frame with their dimensions, giving
+// uniform per-plane access to coding loops.
+type planes struct {
+	y, u, v []uint8
+	lw, lh  int // luma dimensions
+	cw, ch  int // chroma dimensions
+}
+
+func framePlanes(f *video.YUV) planes {
+	return planes{y: f.Y, u: f.U, v: f.V, lw: f.W, lh: f.H, cw: f.ChromaW(), ch: f.ChromaH()}
+}

@@ -1,0 +1,94 @@
+package codec
+
+import (
+	"testing"
+)
+
+// TestNearLosslessAtQP0 checks the codec's fidelity floor: at QP 0 the
+// quantizer step is 0.625, so reconstruction should be visually perfect.
+func TestNearLosslessAtQP0(t *testing.T) {
+	frames := testClipYUV(t, 48, 48, 2, 71)
+	st, err := Encode(frames, nil, 30, EncoderConfig{QP: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Decoder
+	out, err := d.Decode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frames {
+		if p := psnrY(frames[i], out[i]); p < 45 {
+			t.Errorf("frame %d: QP 0 PSNR %.1f dB < 45", i, p)
+		}
+	}
+}
+
+// TestIFrameQualityBestInGOP verifies the per-frame-type QP offsets: I
+// frames must be the highest-fidelity frames of their GOP (the property
+// dcSR's I-frame enhancement builds on).
+func TestIFrameQualityBestInGOP(t *testing.T) {
+	frames := testClipYUV(t, 64, 48, 2, 72)
+	st, err := Encode(frames, nil, 30, EncoderConfig{QP: 40, GOPSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Decoder
+	out, err := d.Decode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := make(map[int]FrameType)
+	for _, f := range st.Frames {
+		types[f.Display] = f.Type
+	}
+	var iSum, pSum float64
+	var iN, pN int
+	for i := range frames {
+		p := psnrY(frames[i], out[i])
+		if types[i] == FrameI {
+			iSum += p
+			iN++
+		} else {
+			pSum += p
+			pN++
+		}
+	}
+	if iN == 0 || pN == 0 {
+		t.Fatal("degenerate stream")
+	}
+	if iSum/float64(iN) <= pSum/float64(pN) {
+		t.Errorf("I frames (%.2f dB) not above P frames (%.2f dB); QP offsets broken",
+			iSum/float64(iN), pSum/float64(pN))
+	}
+}
+
+// TestBitsAccounting verifies DecodeStats.Bits matches payload sizes.
+func TestBitsAccounting(t *testing.T) {
+	frames := testClipYUV(t, 32, 32, 1, 73)
+	st, err := Encode(frames, nil, 30, EncoderConfig{QP: 35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Decoder
+	if _, err := d.Decode(st); err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, f := range st.Frames {
+		want += len(f.Data) * 8
+	}
+	if d.Stats.Bits != want {
+		t.Fatalf("Stats.Bits = %d, want %d", d.Stats.Bits, want)
+	}
+}
+
+// TestFrameTypeString covers the Stringer.
+func TestFrameTypeString(t *testing.T) {
+	if FrameI.String() != "I" || FrameP.String() != "P" || FrameB.String() != "B" {
+		t.Fatal("frame type names wrong")
+	}
+	if FrameType(9).String() == "" {
+		t.Fatal("unknown type must still format")
+	}
+}

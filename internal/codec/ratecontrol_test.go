@@ -1,0 +1,111 @@
+package codec
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRateControlHitsTarget(t *testing.T) {
+	frames := testClipYUV(t, 64, 48, 4, 81) // multi-scene, enough frames to settle
+	fps := 30
+	duration := float64(len(frames)) / float64(fps)
+	// Establish the achievable bitrate envelope at constant QP, then aim
+	// for two targets comfortably inside it.
+	loQP, err := Encode(frames, nil, fps, EncoderConfig{QP: 45, GOPSize: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiQP, err := Encode(frames, nil, fps, EncoderConfig{QP: 15, GOPSize: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loBps := float64(loQP.Bytes()*8) / duration
+	hiBps := float64(hiQP.Bytes()*8) / duration
+	for _, frac := range []float64{0.3, 0.7} {
+		target := int(loBps + frac*(hiBps-loBps))
+		st, err := Encode(frames, nil, fps, EncoderConfig{TargetBitrate: target, GOPSize: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBps := float64(st.Bytes()*8) / duration
+		ratio := gotBps / float64(target)
+		t.Logf("target %d bps -> %.0f bps (%.2fx)", target, gotBps, ratio)
+		if ratio < 0.5 || ratio > 1.5 {
+			t.Errorf("target %d: achieved %.0f bps, off by %.2fx", target, gotBps, ratio)
+		}
+	}
+}
+
+func TestRateControlHigherTargetHigherQuality(t *testing.T) {
+	frames := testClipYUV(t, 64, 48, 3, 83)
+	fps := 30
+	var prevBytes int
+	var prevPSNR float64
+	for i, target := range []int{50_000, 200_000} {
+		st, err := Encode(frames, nil, fps, EncoderConfig{TargetBitrate: target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d Decoder
+		out, err := d.Decode(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var psnr float64
+		for j := range frames {
+			psnr += psnrY(frames[j], out[j])
+		}
+		psnr /= float64(len(frames))
+		if i == 1 {
+			if st.Bytes() <= prevBytes {
+				t.Errorf("4x target did not increase bytes: %d vs %d", st.Bytes(), prevBytes)
+			}
+			if psnr <= prevPSNR {
+				t.Errorf("4x target did not increase PSNR: %.2f vs %.2f", psnr, prevPSNR)
+			}
+		}
+		prevBytes, prevPSNR = st.Bytes(), psnr
+	}
+}
+
+func TestRateControlDisabledIsConstantQP(t *testing.T) {
+	frames := testClipYUV(t, 48, 32, 2, 85)
+	a, err := Encode(frames, nil, 30, EncoderConfig{QP: 38})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(frames, nil, 30, EncoderConfig{QP: 38, TargetBitrate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bytes() != b.Bytes() {
+		t.Fatal("zero TargetBitrate changed constant-QP behaviour")
+	}
+}
+
+func TestRateControllerUnits(t *testing.T) {
+	rc := newRateControl(EncoderConfig{TargetBitrate: 300_000}, 30)
+	if math.Abs(rc.budget-10_000) > 1e-9 {
+		t.Fatalf("budget %.1f bits/frame, want 10000", rc.budget)
+	}
+	// Sustained overshoot must raise QP; undershoot must lower it.
+	i0, p0, b0 := rc.frameQPs()
+	for k := 0; k < 20; k++ {
+		rc.consume(40_000)
+	}
+	_, pHigh, _ := rc.frameQPs()
+	if pHigh <= p0 {
+		t.Fatalf("overshoot did not raise QP: %d -> %d", p0, pHigh)
+	}
+	rc2 := newRateControl(EncoderConfig{TargetBitrate: 300_000}, 30)
+	for k := 0; k < 20; k++ {
+		rc2.consume(1_000)
+	}
+	_, pLow, _ := rc2.frameQPs()
+	if pLow >= p0 {
+		t.Fatalf("undershoot did not lower QP: %d -> %d", p0, pLow)
+	}
+	if i0 != clampQP(p0-6) || b0 != clampQP(p0+2) {
+		t.Fatal("frame-type offsets broken")
+	}
+}

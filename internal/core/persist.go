@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dcsr/internal/codec"
+	"dcsr/internal/edsr"
+	"dcsr/internal/nn"
+	"dcsr/internal/splitter"
+)
+
+// Artifact layout on disk:
+//
+//	<dir>/meta.json     — segments, cluster assignment, model configs
+//	<dir>/stream.bin    — the coded low-quality video
+//	<dir>/models/N.bin  — serialized micro-model weights, one per cluster
+//
+// This is what a dcSR origin server would publish; dcsr-play consumes it.
+
+type metaFile struct {
+	FPS         int                `json:"fps"`
+	Segments    []splitter.Segment `json:"segments"`
+	Assign      []int              `json:"assign"`
+	K           int                `json:"k"`
+	MicroConfig edsr.Config        `json:"micro_config"`
+	BigModel    edsr.Config        `json:"big_model"`
+	TrainFLOPs  float64            `json:"train_flops"`
+}
+
+// Save writes the prepared stream, manifest metadata and micro models to
+// dir, creating it if needed.
+func (p *Prepared) Save(dir string) error {
+	if err := os.MkdirAll(filepath.Join(dir, "models"), 0o755); err != nil {
+		return err
+	}
+	meta := metaFile{
+		FPS: p.FPS, Segments: p.Segments, Assign: p.Assign, K: p.K,
+		MicroConfig: p.MicroConfig, BigModel: p.BigModel, TrainFLOPs: p.TrainFLOPs,
+	}
+	mj, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), mj, 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "stream.bin"), p.Stream.Marshal(), 0o644); err != nil {
+		return err
+	}
+	for label, sm := range p.Models {
+		name := filepath.Join(dir, "models", fmt.Sprintf("%d.bin", label))
+		if err := os.WriteFile(name, sm.Bytes, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads an artifact written by Save and reconstructs a playable
+// Prepared (the evaluation-only fields LowIFrames/OrigIFrames/Features/
+// Sweeps are not persisted and stay nil).
+func Load(dir string) (*Prepared, error) {
+	mj, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil, err
+	}
+	var meta metaFile
+	if err := json.Unmarshal(mj, &meta); err != nil {
+		return nil, fmt.Errorf("core: parsing meta.json: %w", err)
+	}
+	sb, err := os.ReadFile(filepath.Join(dir, "stream.bin"))
+	if err != nil {
+		return nil, err
+	}
+	st, err := codec.Unmarshal(sb)
+	if err != nil {
+		return nil, fmt.Errorf("core: parsing stream.bin: %w", err)
+	}
+	p := &Prepared{
+		FPS: meta.FPS, Stream: st, Segments: meta.Segments, Assign: meta.Assign,
+		K: meta.K, MicroConfig: meta.MicroConfig, BigModel: meta.BigModel,
+		TrainFLOPs: meta.TrainFLOPs, Models: make(map[int]*SegmentModel),
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "models"))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		var label int
+		if _, err := fmt.Sscanf(e.Name(), "%d.bin", &label); err != nil {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "models", e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		m, err := edsr.New(meta.MicroConfig, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := nn.LoadWeights(bytes.NewReader(data), m.Params()); err != nil {
+			return nil, fmt.Errorf("core: loading model %d: %w", label, err)
+		}
+		p.Models[label] = &SegmentModel{Label: label, Config: meta.MicroConfig, Model: m, Bytes: data}
+	}
+	p.Manifest = buildManifest(p)
+	if err := p.Manifest.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loaded artifact inconsistent: %w", err)
+	}
+	return p, nil
+}

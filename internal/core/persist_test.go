@@ -1,0 +1,119 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcsr/internal/edsr"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	clip := testClip(t, 61, 2, 5)
+	frames := clip.YUVFrames()
+	cfg := tinyServerConfig()
+	cfg.MicroConfig = edsr.Config{Filters: 4, ResBlocks: 1}
+	prep, err := Prepare(frames, clip.FPS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := prep.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.K != prep.K || len(loaded.Segments) != len(prep.Segments) || loaded.FPS != prep.FPS {
+		t.Fatalf("metadata mismatch: %+v vs %+v", loaded.K, prep.K)
+	}
+	if len(loaded.Models) != len(prep.Models) {
+		t.Fatalf("loaded %d models, want %d", len(loaded.Models), len(prep.Models))
+	}
+	// Playback from the loaded artifact must be bit-identical to playback
+	// from the in-memory pipeline output.
+	a, err := NewPlayer(prep).Play()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewPlayer(loaded).Play()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Frames {
+		for j := range a.Frames[i].Y {
+			if a.Frames[i].Y[j] != b.Frames[i].Y[j] {
+				t.Fatalf("frame %d differs after artifact round trip", i)
+			}
+		}
+	}
+	if a.TotalBytes() != b.TotalBytes() {
+		t.Errorf("byte accounting differs: %d vs %d", a.TotalBytes(), b.TotalBytes())
+	}
+}
+
+func TestLoadRejectsCorruptArtifacts(t *testing.T) {
+	clip := testClip(t, 63, 2, 4)
+	cfg := tinyServerConfig()
+	cfg.MicroConfig = edsr.Config{Filters: 4, ResBlocks: 1}
+	prep, err := Prepare(clip.YUVFrames(), clip.FPS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+	dir := t.TempDir()
+	if err := prep.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stream.
+	if err := os.WriteFile(filepath.Join(dir, "stream.bin"), []byte("nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("corrupt stream accepted")
+	}
+	// Restore stream, corrupt meta.
+	if err := os.WriteFile(filepath.Join(dir, "stream.bin"), prep.Stream.Marshal(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "meta.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("corrupt meta accepted")
+	}
+}
+
+func TestSegmentStream(t *testing.T) {
+	clip := testClip(t, 67, 2, 5)
+	frames := clip.YUVFrames()
+	cfg := tinyServerConfig()
+	cfg.MicroConfig = edsr.Config{Filters: 4, ResBlocks: 1}
+	prep, err := Prepare(frames, clip.FPS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, seg := range prep.Segments {
+		sub, err := prep.SegmentStream(i)
+		if err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		if sub.FrameCount() != seg.Len() {
+			t.Fatalf("segment %d has %d frames, want %d", i, sub.FrameCount(), seg.Len())
+		}
+		total += sub.FrameCount()
+	}
+	if total != len(frames) {
+		t.Fatalf("segments cover %d frames of %d", total, len(frames))
+	}
+	if _, err := prep.SegmentStream(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := prep.SegmentStream(len(prep.Segments)); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}

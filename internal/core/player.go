@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"dcsr/internal/codec"
+	"dcsr/internal/stream"
+	"dcsr/internal/video"
+)
+
+// PlayResult is the outcome of one client playback pass.
+type PlayResult struct {
+	// Frames are the displayed (enhanced) frames in display order.
+	Frames []*video.YUV
+	// Session holds the download/caching accounting (Algorithm 1).
+	Session *stream.Session
+	// Decode holds decoder statistics including enhancement count.
+	Decode codec.DecodeStats
+}
+
+// TotalBytes returns the bytes a real client would have downloaded.
+func (r *PlayResult) TotalBytes() int { return r.Session.TotalBytes() }
+
+// Player is the client-side dcSR: it walks the manifest downloading
+// segments and (on cache miss) micro models, and decodes the stream with
+// the per-segment micro model patched into the decoder's I-frame
+// enhancement hook (paper Fig 6).
+type Player struct {
+	prepared *Prepared
+	// UseCache toggles micro-model caching (paper §3.2.2); default true.
+	UseCache bool
+	// Enhance toggles SR entirely (false plays the raw low-quality video,
+	// the "LOW" series of paper Fig 9).
+	Enhance bool
+	// Propagation selects how enhancement reaches P/B frames; the default
+	// is codec.PropagateDelta (drift-free). codec.PropagateReplace is the
+	// paper-literal DPB replacement, kept for the propagation ablation.
+	Propagation codec.Propagation
+}
+
+// NewPlayer builds a player over a prepared stream.
+func NewPlayer(p *Prepared) *Player {
+	return &Player{prepared: p, UseCache: true, Enhance: true, Propagation: codec.PropagateDelta}
+}
+
+// segmentOf returns the segment index containing display frame i.
+func (pl *Player) segmentOf(display int) int {
+	segs := pl.prepared.Segments
+	idx := sort.Search(len(segs), func(j int) bool { return segs[j].End > display })
+	if idx >= len(segs) {
+		idx = len(segs) - 1
+	}
+	return idx
+}
+
+// Play simulates the full streaming session: per-segment downloads with
+// model caching, then decoding with in-loop I-frame enhancement.
+func (pl *Player) Play() (*PlayResult, error) {
+	p := pl.prepared
+	sess, err := stream.NewSession(p.Manifest, pl.UseCache)
+	if err != nil {
+		return nil, err
+	}
+	sess.Run()
+
+	dec := codec.Decoder{Mode: pl.Propagation}
+	if pl.Enhance {
+		dec.Enhancer = codec.EnhancerFunc(func(display int, f *video.YUV) *video.YUV {
+			seg := pl.segmentOf(display)
+			label := p.Manifest.Segments[seg].ModelLabel
+			sm, ok := p.Models[label]
+			if !ok {
+				return f
+			}
+			return sm.Model.EnhanceYUV(f)
+		})
+	}
+	frames, err := dec.Decode(p.Stream)
+	if err != nil {
+		return nil, fmt.Errorf("core: playback decode: %w", err)
+	}
+	return &PlayResult{Frames: frames, Session: sess, Decode: dec.Stats}, nil
+}

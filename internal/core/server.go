@@ -1,0 +1,394 @@
+// Package core implements dcSR itself — the paper's primary contribution —
+// on top of the substrate packages: the server-side pipeline (shot-based
+// video split → VAE feature extraction → global k-means segment clustering
+// with constrained K selection → per-cluster micro EDSR training →
+// manifest/model packaging, paper Fig 2) and the client-side player
+// (decoder-integrated I-frame enhancement with micro-model caching,
+// paper Figs 6–7).
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"dcsr/internal/cluster"
+	"dcsr/internal/codec"
+	"dcsr/internal/edsr"
+	"dcsr/internal/nn"
+	"dcsr/internal/splitter"
+	"dcsr/internal/stream"
+	"dcsr/internal/vae"
+	"dcsr/internal/video"
+)
+
+// ServerConfig parameterizes the server-side dcSR pipeline.
+type ServerConfig struct {
+	// Encoding of the low-quality stream the client downloads. QP plays
+	// the role of the paper's CRF setting (51 = worst). Default 42.
+	QP      int
+	BFrames int
+	GOPSize int
+	// HalfPel and Deblock enable the optional codec features for the
+	// low-quality stream (see codec.EncoderConfig).
+	HalfPel bool
+	Deblock bool
+
+	// Shot-based splitting (paper §3.1.1).
+	Split splitter.Config
+
+	// VAE feature extraction (paper Fig 3).
+	VAE      vae.Config
+	VAETrain vae.TrainOptions
+
+	// BigModel is the reference one-model-per-video configuration
+	// (NAS/NEMO); its size bounds K via paper Eq. 3, and the minimum-
+	// working-model search measures candidates against it.
+	BigModel edsr.Config
+
+	// MicroGrid lists candidate micro configurations in ascending size for
+	// the Appendix A.1 minimum-working-model search. If MicroConfig is set
+	// the search is skipped.
+	MicroGrid   []edsr.Config
+	MicroConfig edsr.Config // explicit micro config; Filters==0 → search
+	// MinPSNRGap is the maximum PSNR shortfall (dB) versus the big model
+	// at which a candidate still counts as "comparable" (default 1.0).
+	MinPSNRGap float64
+	// SearchTrain configures candidate training during the search (kept
+	// lighter than final training). Zero value → derived from Train.
+	SearchTrain edsr.TrainOptions
+
+	// Train configures final micro-model training (paper §3.1.3).
+	Train edsr.TrainOptions
+
+	Seed int64
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.QP == 0 {
+		c.QP = 42
+	}
+	if c.BigModel.Filters == 0 {
+		c.BigModel = edsr.Config{Filters: 16, ResBlocks: 6}
+	}
+	if c.MinPSNRGap == 0 {
+		c.MinPSNRGap = 1.0
+	}
+	return c
+}
+
+// SegmentModel pairs a trained micro model with its serialized weights.
+type SegmentModel struct {
+	Label  int
+	Config edsr.Config
+	Model  *edsr.Model
+	Bytes  []byte
+	Train  *edsr.TrainResult
+}
+
+// Prepared is the output of the server pipeline: everything a client needs
+// (stream + manifest + models) plus the intermediate artifacts the
+// evaluation inspects.
+type Prepared struct {
+	FPS      int
+	Stream   *codec.Stream
+	Segments []splitter.Segment
+	Features [][]float64 // per-segment VAE latent (μ)
+	Assign   []int       // per-segment cluster label
+	K        int
+	Sweeps   []cluster.Sweep // silhouette curve (paper Fig 5)
+	Models   map[int]*SegmentModel
+	Manifest *stream.Manifest
+
+	MicroConfig edsr.Config // chosen minimum working configuration
+	BigModel    edsr.Config
+
+	// TrainFLOPs is the total micro-model training compute; the paper
+	// reports ~3× less than big-model training.
+	TrainFLOPs float64
+
+	// LowIFrames and OrigIFrames are the per-segment training inputs kept
+	// for evaluation (decoded low-quality I frame, pristine I frame).
+	LowIFrames  []*video.RGB
+	OrigIFrames []*video.RGB
+}
+
+// Prepare runs the full server-side dcSR pipeline of paper Fig 2 over a
+// raw video (display-order frames at the given fps).
+func Prepare(frames []*video.YUV, fps int, cfg ServerConfig) (*Prepared, error) {
+	cfg = cfg.withDefaults()
+	if len(frames) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 frames, got %d", len(frames))
+	}
+
+	// 1. Variable-length shot-based split; every segment starts with an I
+	// frame (paper §3.1.1).
+	segs := splitter.Split(frames, cfg.Split)
+	forceI := splitter.ForceIFlags(len(frames), segs)
+	st, err := codec.Encode(frames, forceI, fps, codec.EncoderConfig{
+		QP: cfg.QP, GOPSize: cfg.GOPSize, BFrames: cfg.BFrames,
+		HalfPel: cfg.HalfPel, Deblock: cfg.Deblock,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: encoding low-quality stream: %w", err)
+	}
+
+	// 2. Decode our own stream to obtain the client-visible low-quality
+	// I frames (training inputs must match what the client will enhance).
+	var dec codec.Decoder
+	lowFrames, err := dec.Decode(st)
+	if err != nil {
+		return nil, fmt.Errorf("core: decoding own stream: %w", err)
+	}
+	p := &Prepared{FPS: fps, Stream: st, Segments: segs, BigModel: cfg.BigModel}
+	for _, s := range segs {
+		p.LowIFrames = append(p.LowIFrames, lowFrames[s.Start].ToRGB())
+		p.OrigIFrames = append(p.OrigIFrames, frames[s.Start].ToRGB())
+	}
+
+	// 3. VAE feature extraction from the I frames (paper §3.1.1, Fig 3).
+	vm, err := vae.New(cfg.VAE, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := vm.Train(p.OrigIFrames, cfg.VAETrain); err != nil {
+		return nil, fmt.Errorf("core: VAE training: %w", err)
+	}
+	for _, f := range p.OrigIFrames {
+		p.Features = append(p.Features, vm.Features(f))
+	}
+
+	// 4. Minimum working model (paper Appendix A.1), then K selection under
+	// the |M_big| / |M_min| constraint (paper Eq. 2–3).
+	micro := cfg.MicroConfig
+	if micro.Filters == 0 {
+		micro, err = FindMinimumWorkingModel(p.LowIFrames, p.OrigIFrames, cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+	p.MicroConfig = micro
+	bigBytes := modelBytes(cfg.BigModel)
+	minBytes := modelBytes(micro)
+
+	if len(segs) < 3 {
+		// Too few segments to cluster meaningfully: single cluster.
+		p.K = 1
+		p.Assign = make([]int, len(segs))
+	} else {
+		res, sweeps, err := cluster.SelectK(p.Features, bigBytes, minBytes)
+		if err != nil {
+			return nil, fmt.Errorf("core: K selection: %w", err)
+		}
+		p.K = res.K
+		p.Assign = res.Assign
+		p.Sweeps = sweeps
+	}
+
+	// 5. Train one micro model per cluster on its I-frame pairs
+	// (paper §3.1.3). Models are independent, so they train concurrently;
+	// per-label seeds keep the result identical to sequential training.
+	p.Models = make(map[int]*SegmentModel)
+	type trained struct {
+		label int
+		sm    *SegmentModel
+		err   error
+	}
+	results := make(chan trained, p.K)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p.K {
+		workers = p.K
+	}
+	labels := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for label := range labels {
+				var pairs []edsr.Pair
+				for si, a := range p.Assign {
+					if a == label {
+						pairs = append(pairs, edsr.Pair{Low: p.LowIFrames[si], High: p.OrigIFrames[si]})
+					}
+				}
+				if len(pairs) == 0 {
+					results <- trained{label: label}
+					continue
+				}
+				m, err := edsr.New(micro, cfg.Seed+100+int64(label))
+				if err != nil {
+					results <- trained{label: label, err: err}
+					continue
+				}
+				opts := cfg.Train
+				opts.Seed = cfg.Seed + 200 + int64(label)
+				tr, err := m.Train(pairs, opts)
+				if err != nil {
+					results <- trained{label: label, err: fmt.Errorf("core: training micro model %d: %w", label, err)}
+					continue
+				}
+				results <- trained{label: label, sm: &SegmentModel{
+					Label: label, Config: micro, Model: m,
+					Bytes: nn.EncodeWeights(m.Params()), Train: tr,
+				}}
+			}
+		}()
+	}
+	for label := 0; label < p.K; label++ {
+		labels <- label
+	}
+	close(labels)
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.sm != nil {
+			p.TrainFLOPs += r.sm.Train.TrainFLOPs
+			p.Models[r.label] = r.sm
+		}
+	}
+
+	// 6. Manifest with byte-accurate segment and model sizes.
+	p.Manifest = buildManifest(p)
+	return p, nil
+}
+
+// SegmentStream extracts segment i as an independently decodable
+// sub-stream: display indices are rebased to the segment start. It
+// requires the stream to have been encoded without B frames (the default
+// in this pipeline), because boundary B frames reference the next
+// segment's I frame.
+func (p *Prepared) SegmentStream(i int) (*codec.Stream, error) {
+	if i < 0 || i >= len(p.Segments) {
+		return nil, fmt.Errorf("core: segment %d out of range", i)
+	}
+	if n := p.Stream.CountType(codec.FrameB); n > 0 {
+		return nil, fmt.Errorf("core: stream has %d B frames; segments are not independently decodable", n)
+	}
+	seg := p.Segments[i]
+	sub := &codec.Stream{W: p.Stream.W, H: p.Stream.H, FPS: p.Stream.FPS}
+	for _, f := range p.Stream.Frames {
+		if f.Display >= seg.Start && f.Display < seg.End {
+			sub.Frames = append(sub.Frames, codec.EncodedFrame{
+				Type: f.Type, Display: f.Display - seg.Start, Data: f.Data,
+			})
+		}
+	}
+	if len(sub.Frames) == 0 || sub.Frames[0].Type != codec.FrameI {
+		return nil, fmt.Errorf("core: segment %d does not start with an I frame", i)
+	}
+	return sub, nil
+}
+
+// modelBytes returns the download size of a freshly initialized model of
+// the given configuration.
+func modelBytes(cfg edsr.Config) int {
+	m, err := edsr.New(cfg, 0)
+	if err != nil {
+		panic(err)
+	}
+	return m.SizeBytes()
+}
+
+// buildManifest splits the coded stream's bytes across segments by display
+// index and attaches model labels.
+func buildManifest(p *Prepared) *stream.Manifest {
+	man := &stream.Manifest{Models: make(map[int]stream.ModelInfo)}
+	segOf := func(display int) int {
+		for i, s := range p.Segments {
+			if display >= s.Start && display < s.End {
+				return i
+			}
+		}
+		return len(p.Segments) - 1
+	}
+	segBytes := make([]int, len(p.Segments))
+	for _, f := range p.Stream.Frames {
+		segBytes[segOf(f.Display)] += len(f.Data) + 9 // payload + frame header
+	}
+	for i, s := range p.Segments {
+		label := -1
+		if i < len(p.Assign) {
+			label = p.Assign[i]
+		}
+		if _, ok := p.Models[label]; !ok {
+			label = -1
+		}
+		man.Segments = append(man.Segments, stream.SegmentInfo{
+			Index: i, Start: s.Start, End: s.End, Bytes: segBytes[i], ModelLabel: label,
+		})
+	}
+	for label, sm := range p.Models {
+		man.Models[label] = stream.ModelInfo{Label: label, Bytes: len(sm.Bytes)}
+	}
+	return man
+}
+
+// FindMinimumWorkingModel implements the Appendix A.1 search: train the
+// big model on the video's I frames to establish the reference quality,
+// then walk the candidate grid in ascending size and return the first
+// configuration whose trained quality is within cfg.MinPSNRGap dB of it.
+func FindMinimumWorkingModel(low, high []*video.RGB, cfg ServerConfig) (edsr.Config, error) {
+	cfg = cfg.withDefaults()
+	grid := cfg.MicroGrid
+	if len(grid) == 0 {
+		grid = []edsr.Config{
+			{Filters: 4, ResBlocks: 1},
+			{Filters: 4, ResBlocks: 2},
+			{Filters: 8, ResBlocks: 2},
+			{Filters: 8, ResBlocks: 4},
+			{Filters: 16, ResBlocks: 4},
+		}
+	}
+	opts := cfg.SearchTrain
+	if opts.Steps == 0 {
+		opts = cfg.Train
+	}
+	pairs := make([]edsr.Pair, len(low))
+	for i := range low {
+		pairs[i] = edsr.Pair{Low: low[i], High: high[i]}
+	}
+	ref, err := trainedMSE(cfg.BigModel, pairs, opts, cfg.Seed+50)
+	if err != nil {
+		return edsr.Config{}, err
+	}
+	refPSNR := mseToPSNR(ref)
+	var last edsr.Config
+	for _, cand := range grid {
+		last = cand
+		mse, err := trainedMSE(cand, pairs, opts, cfg.Seed+60)
+		if err != nil {
+			return edsr.Config{}, err
+		}
+		if refPSNR-mseToPSNR(mse) <= cfg.MinPSNRGap {
+			return cand, nil
+		}
+	}
+	// No candidate matched; return the largest (paper's constraint caps K
+	// accordingly).
+	return last, nil
+}
+
+func trainedMSE(cfg edsr.Config, pairs []edsr.Pair, opts edsr.TrainOptions, seed int64) (float64, error) {
+	m, err := edsr.New(cfg, seed)
+	if err != nil {
+		return 0, err
+	}
+	opts.Seed = seed
+	if _, err := m.Train(pairs, opts); err != nil {
+		return 0, err
+	}
+	return m.EvalMSE(pairs), nil
+}
+
+func mseToPSNR(mse float64) float64 {
+	if mse <= 0 {
+		return 99
+	}
+	// PSNR = 10·log10(255²/MSE) with MSE already on the 0–255² scale.
+	return 10 * math.Log10(255*255/mse)
+}

@@ -1,0 +1,311 @@
+// Package edsr implements the Enhanced Deep Super-Resolution network
+// (Lim et al., CVPRW 2017) that dcSR trains its micro models with: a head
+// convolution, a stack of residual blocks with a global skip connection,
+// and a pixel-shuffle upsampling tail. Model capacity is controlled by the
+// two hyperparameters the paper's Appendix A.1 grid-searches — the number
+// of convolution filters (n_f) and the number of ResBlocks (n_RB) — which
+// determine both model size (Table 1) and inference FLOPs.
+//
+// Scale 1 configures the network as a same-resolution quality enhancer
+// (compression-artifact removal, the mode integrated into the decoder
+// loop); scale 2 or 4 adds sub-pixel upsampling stages.
+package edsr
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dcsr/internal/nn"
+	"dcsr/internal/tensor"
+	"dcsr/internal/video"
+)
+
+// Config selects an EDSR architecture.
+type Config struct {
+	Filters   int     // n_f: convolution filters per layer
+	ResBlocks int     // n_RB: residual blocks in the body
+	Scale     int     // 1 (quality enhancement), 2, or 4 (upscaling)
+	ResScale  float32 // residual scaling; 0 means 1.0
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.ResScale == 0 {
+		c.ResScale = 1.0
+	}
+	return c
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Filters < 1 {
+		return fmt.Errorf("edsr: Filters must be >= 1, got %d", c.Filters)
+	}
+	if c.ResBlocks < 1 {
+		return fmt.Errorf("edsr: ResBlocks must be >= 1, got %d", c.ResBlocks)
+	}
+	if c.Scale != 1 && c.Scale != 2 && c.Scale != 4 {
+		return fmt.Errorf("edsr: Scale must be 1, 2 or 4, got %d", c.Scale)
+	}
+	return nil
+}
+
+// String formats the configuration compactly, e.g. "EDSR(16f×4RB,x1)".
+func (c Config) String() string {
+	c = c.withDefaults()
+	return fmt.Sprintf("EDSR(%df×%dRB,x%d)", c.Filters, c.ResBlocks, c.Scale)
+}
+
+// Standard configurations from the paper's evaluation (§4): dcSR-1/2/3 are
+// 4, 12 and 16 ResBlocks of 16 filters; the big model (NAS/NEMO) uses the
+// original EDSR width of 64 filters and 16 ResBlocks.
+var (
+	ConfigDCSR1 = Config{Filters: 16, ResBlocks: 4}
+	ConfigDCSR2 = Config{Filters: 16, ResBlocks: 12}
+	ConfigDCSR3 = Config{Filters: 16, ResBlocks: 16}
+	ConfigBig   = Config{Filters: 64, ResBlocks: 16, ResScale: 0.1}
+)
+
+// upStage is one ×2 sub-pixel upsampling stage.
+type upStage struct {
+	conv    *nn.Conv2D
+	shuffle *nn.PixelShuffle
+}
+
+// Model is an EDSR network instance.
+type Model struct {
+	Cfg Config
+
+	head     *nn.Conv2D
+	body     []*nn.ResBlock
+	bodyConv *nn.Conv2D
+	ups      []upStage
+	tail     *nn.Conv2D
+}
+
+// New builds an EDSR model with weights initialized from seed.
+func New(cfg Config, seed int64) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	nf := cfg.Filters
+	m := &Model{Cfg: cfg}
+	m.head = nn.NewConv2D(rng, 3, nf, 3, 1, 1)
+	for i := 0; i < cfg.ResBlocks; i++ {
+		m.body = append(m.body, nn.NewResBlock(rng, nf, cfg.ResScale))
+	}
+	m.bodyConv = nn.NewConv2D(rng, nf, nf, 3, 1, 1)
+	for s := cfg.Scale; s > 1; s /= 2 {
+		m.ups = append(m.ups, upStage{
+			conv:    nn.NewConv2D(rng, nf, nf*4, 3, 1, 1),
+			shuffle: &nn.PixelShuffle{R: 2},
+		})
+	}
+	m.tail = nn.NewConv2D(rng, nf, 3, 3, 1, 1)
+	// Every model predicts a *residual* on top of a cheap baseline — the
+	// input itself at scale 1, its nearest-neighbor upsampling at scale
+	// 2/4 — with a zero-initialized tail so the untrained model equals
+	// that baseline. This keeps an under-trained micro model from ever
+	// falling below the trivial reconstruction.
+	m.tail.Wt.W.Zero()
+	return m, nil
+}
+
+// upsampleNearest repeats each input sample s× in both dimensions.
+func upsampleNearest(x *tensor.Tensor, s int) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	out := tensor.New(n, c, h*s, w*s)
+	for nc := 0; nc < n*c; nc++ {
+		src := x.Data[nc*h*w : (nc+1)*h*w]
+		dst := out.Data[nc*h*s*w*s : (nc+1)*h*s*w*s]
+		for y := 0; y < h*s; y++ {
+			srow := src[(y/s)*w : (y/s+1)*w]
+			drow := dst[y*w*s : (y+1)*w*s]
+			for xx := range drow {
+				drow[xx] = srow[xx/s]
+			}
+		}
+	}
+	return out
+}
+
+// downsumNearest is the adjoint of upsampleNearest: it sums each s×s
+// output window back onto its source sample.
+func downsumNearest(gy *tensor.Tensor, s int) *tensor.Tensor {
+	n, c, hs, ws := gy.Shape[0], gy.Shape[1], gy.Shape[2], gy.Shape[3]
+	h, w := hs/s, ws/s
+	out := tensor.New(n, c, h, w)
+	for nc := 0; nc < n*c; nc++ {
+		src := gy.Data[nc*hs*ws : (nc+1)*hs*ws]
+		dst := out.Data[nc*h*w : (nc+1)*h*w]
+		for y := 0; y < hs; y++ {
+			srow := src[y*ws : (y+1)*ws]
+			drow := dst[(y/s)*w : (y/s+1)*w]
+			for xx, v := range srow {
+				drow[xx/s] += v
+			}
+		}
+	}
+	return out
+}
+
+// Params returns all trainable parameters.
+func (m *Model) Params() []*nn.Param {
+	var ps []*nn.Param
+	ps = append(ps, m.head.Params()...)
+	for _, b := range m.body {
+		ps = append(ps, b.Params()...)
+	}
+	ps = append(ps, m.bodyConv.Params()...)
+	for _, u := range m.ups {
+		ps = append(ps, u.conv.Params()...)
+	}
+	ps = append(ps, m.tail.Params()...)
+	return ps
+}
+
+// NumParams returns the scalar parameter count.
+func (m *Model) NumParams() int { return nn.NumParams(m.Params()) }
+
+// SizeBytes returns the serialized weight size — the bytes a client must
+// download per model (paper Fig 1(b), Fig 10).
+func (m *Model) SizeBytes() int { return nn.WeightsSize(m.Params()) }
+
+// CheckpointBytes approximates a training-framework checkpoint (weights
+// plus two Adam moment tensors), which is what paper Table 1 reports.
+func (m *Model) CheckpointBytes() int { return 3 * m.SizeBytes() }
+
+// Forward runs the network on x (N, 3, H, W) in [−0.5, 0.5] and returns
+// (N, 3, H·scale, W·scale). Activations are cached for Backward.
+func (m *Model) Forward(x *tensor.Tensor) *tensor.Tensor {
+	h := m.head.Forward(x)
+	b := h
+	for _, blk := range m.body {
+		b = blk.Forward(b)
+	}
+	b = m.bodyConv.Forward(b)
+	b = tensor.Add(b, h) // global skip
+	for _, u := range m.ups {
+		b = u.conv.Forward(b)
+		b = u.shuffle.Forward(b)
+	}
+	out := m.tail.Forward(b)
+	if m.Cfg.Scale == 1 {
+		out.AddInPlace(x) // global image residual (identity at init)
+	} else {
+		out.AddInPlace(upsampleNearest(x, m.Cfg.Scale))
+	}
+	return out
+}
+
+// Backward propagates the loss gradient, accumulating parameter gradients.
+func (m *Model) Backward(gy *tensor.Tensor) *tensor.Tensor {
+	g := m.tail.Backward(gy)
+	for i := len(m.ups) - 1; i >= 0; i-- {
+		g = m.ups[i].shuffle.Backward(g)
+		g = m.ups[i].conv.Backward(g)
+	}
+	gSkip := g.Clone()
+	g = m.bodyConv.Backward(g)
+	for i := len(m.body) - 1; i >= 0; i-- {
+		g = m.body[i].Backward(g)
+	}
+	g.AddInPlace(gSkip) // global skip gradient
+	gx := m.head.Backward(g)
+	if m.Cfg.Scale == 1 {
+		gx.AddInPlace(gy) // global image-residual gradient
+	} else {
+		gx.AddInPlace(downsumNearest(gy, m.Cfg.Scale))
+	}
+	return gx
+}
+
+// ToTensor converts an RGB frame into a normalized (1, 3, H, W) tensor in
+// [−0.5, 0.5].
+func ToTensor(f *video.RGB) *tensor.Tensor {
+	t := tensor.New(1, 3, f.H, f.W)
+	for c := 0; c < 3; c++ {
+		plane := t.Data[c*f.H*f.W : (c+1)*f.H*f.W]
+		for i := 0; i < f.W*f.H; i++ {
+			plane[i] = float32(f.Pix[i*3+c])/255 - 0.5
+		}
+	}
+	return t
+}
+
+// FromTensor converts a (1, 3, H, W) tensor in [−0.5, 0.5] back to RGB.
+func FromTensor(t *tensor.Tensor) *video.RGB {
+	h, w := t.Shape[2], t.Shape[3]
+	f := video.NewRGB(w, h)
+	for c := 0; c < 3; c++ {
+		plane := t.Data[c*h*w : (c+1)*h*w]
+		for i := 0; i < w*h; i++ {
+			v := (plane[i] + 0.5) * 255
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			f.Pix[i*3+c] = uint8(v + 0.5)
+		}
+	}
+	return f
+}
+
+// Enhance super-resolves one RGB frame.
+func (m *Model) Enhance(low *video.RGB) *video.RGB {
+	return FromTensor(m.Forward(ToTensor(low)))
+}
+
+// EnhanceYUV performs the client-side dcSR conversion chain of paper Fig 6:
+// YUV→RGB, SR inference, RGB→YUV. Scale must be 1 for in-loop use.
+func (m *Model) EnhanceYUV(f *video.YUV) *video.YUV {
+	return m.Enhance(f.ToRGB()).ToYUV()
+}
+
+// InferenceFLOPs returns the multiply-add count (×2) of one forward pass
+// on an input of lowW×lowH pixels. The device model converts this to
+// latency per device profile.
+func (m *Model) InferenceFLOPs(lowW, lowH int) float64 {
+	return ConfigFLOPs(m.Cfg, lowW, lowH)
+}
+
+// ConfigFLOPs computes inference FLOPs for a configuration without
+// building the model. Per convolution: 2·K²·inC·outC·outH·outW.
+func ConfigFLOPs(cfg Config, lowW, lowH int) float64 {
+	cfg = cfg.withDefaults()
+	nf := float64(cfg.Filters)
+	px := float64(lowW * lowH)
+	conv := func(inC, outC, pixels float64) float64 { return 2 * 9 * inC * outC * pixels }
+	fl := conv(3, nf, px)                               // head
+	fl += float64(cfg.ResBlocks) * 2 * conv(nf, nf, px) // body
+	fl += conv(nf, nf, px)                              // body conv
+	p := px
+	for s := cfg.Scale; s > 1; s /= 2 {
+		fl += conv(nf, nf*4, p)
+		p *= 4
+	}
+	fl += conv(nf, 3, p) // tail
+	return fl
+}
+
+// ActivationBytes estimates peak activation memory for one inference at
+// the given input size: the dominant term is two float32 feature maps of
+// n_f channels at input resolution (plus upsampled maps when Scale > 1).
+// The device model uses this for the OOM behaviour seen in paper Fig 8
+// (NAS/NEMO cannot run 4K on the Jetson).
+func ConfigActivationBytes(cfg Config, lowW, lowH int) int64 {
+	cfg = cfg.withDefaults()
+	px := int64(lowW) * int64(lowH)
+	base := 2 * 4 * int64(cfg.Filters) * px // two resident feature maps
+	if cfg.Scale > 1 {
+		base += 4 * 4 * int64(cfg.Filters) * px // widest upsampling activation
+	}
+	return base
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"dcsr/internal/cluster"
+	"dcsr/internal/core"
+	"dcsr/internal/vae"
+	"dcsr/internal/video"
+)
+
+// newTrainedVAE builds and trains the feature-extraction VAE the way the
+// core pipeline configures it.
+func newTrainedVAE(cfg core.ServerConfig, frames []*video.RGB, seed int64) (*vae.Model, error) {
+	vm, err := vae.New(cfg.VAE, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	opts := cfg.VAETrain
+	opts.Seed = seed
+	if _, err := vm.Train(frames, opts); err != nil {
+		return nil, err
+	}
+	return vm, nil
+}
+
+// globalKMeans clusters feature vectors and returns the assignment.
+func globalKMeans(feats [][]float64, k int) ([]int, error) {
+	res, err := cluster.GlobalKMeans(feats, k, 0)
+	if err != nil {
+		return nil, err
+	}
+	return res.Assign, nil
+}

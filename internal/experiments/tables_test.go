@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tbl := Table{Title: "demo", Header: []string{"name", "value"}}
+	tbl.Add("alpha", "1.0")
+	tbl.Add("a-much-longer-name", "2.25")
+	out := tbl.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns must align: "value" column starts at the same offset in the
+	// header and every row.
+	idx := strings.Index(lines[1], "value")
+	for _, ln := range lines[2:] {
+		if len(ln) < idx {
+			t.Fatalf("row shorter than header alignment:\n%s", out)
+		}
+	}
+	if strings.Index(lines[3], "2.25") != idx {
+		t.Fatalf("value column misaligned:\n%s", out)
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if f1(1.26) != "1.3" || f2(1.266) != "1.27" || f3(0.1234) != "0.123" {
+		t.Fatal("float formatting broken")
+	}
+	if mb(1<<20) != "1.000" {
+		t.Fatalf("mb(1MiB) = %q", mb(1<<20))
+	}
+}

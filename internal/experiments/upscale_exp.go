@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dcsr/internal/codec"
+	"dcsr/internal/edsr"
+	"dcsr/internal/quality"
+	"dcsr/internal/splitter"
+	"dcsr/internal/video"
+)
+
+// UpscaleResult compares ×2 super-resolution against bicubic upscaling.
+type UpscaleResult struct {
+	SRPSNR, BicubicPSNR map[string]float64
+}
+
+// ExperimentUpscale exercises the paper's literal super-resolution mode:
+// the client downloads a *half-resolution* stream and reconstructs full
+// resolution, with dcSR's per-cluster ×2 micro EDSR models against the
+// bicubic upscaler (the "LOW" of paper Fig 9 in resolution terms). The
+// main pipeline's same-resolution enhancement is the decoder-integrated
+// mode; this one runs post-decode on every frame, NAS-style, but with the
+// data-centric per-cluster models.
+func ExperimentUpscale(cfg EvalConfig) (Table, *UpscaleResult) {
+	// Dimensions must keep both full and half resolution multiples of 16.
+	fullW, fullH := 96, 64
+	lowW, lowH := fullW/2, fullH/2
+	res := &UpscaleResult{SRPSNR: map[string]float64{}, BicubicPSNR: map[string]float64{}}
+	t := Table{
+		Title:  "Upscaling mode: x2 SR vs bicubic (half-resolution stream)",
+		Header: []string{"video", "bicubic PSNR (dB)", "dcSR x2 PSNR (dB)", "gain"},
+	}
+	genres := cfg.Genres
+	if len(genres) > 3 {
+		genres = genres[:3]
+	}
+	for _, g := range genres {
+		gc := video.GenreConfig(g, fullW, fullH, cfg.Seed)
+		gc.MinFrames, gc.MaxFrames = cfg.CueFramesMin, cfg.CueFramesMax
+		clip := video.Generate(gc)
+		full := clip.Frames()
+
+		// Downscale the source and encode the low-resolution stream.
+		var lowYUV []*video.YUV
+		for _, f := range full {
+			lowYUV = append(lowYUV, video.ResizeRGB(f, lowW, lowH).ToYUV())
+		}
+		segs := splitter.Split(lowYUV, splitter.Config{Threshold: 14, MinLen: 3})
+		forceI := splitter.ForceIFlags(len(lowYUV), segs)
+		st, err := codec.Encode(lowYUV, forceI, clip.FPS, codec.EncoderConfig{QP: cfg.QP - 15})
+		if err != nil {
+			panic(err)
+		}
+		var dec codec.Decoder
+		decoded, err := dec.Decode(st)
+		if err != nil {
+			panic(err)
+		}
+
+		// Cluster segments exactly as the main pipeline does, but train
+		// ×2 models: decoded low-res I frame → pristine full-res I frame.
+		micro := cfg.Micro
+		micro.Scale = 2
+		var lowI, highI []*video.RGB
+		for _, s := range segs {
+			lowI = append(lowI, decoded[s.Start].ToRGB())
+			highI = append(highI, full[s.Start])
+		}
+		assign := clusterIFrames(cfg, highI, len(segs))
+		models := map[int]*edsr.Model{}
+		for label := 0; label < maxInt(assign)+1; label++ {
+			var pairs []edsr.Pair
+			for si, a := range assign {
+				if a == label {
+					pairs = append(pairs, edsr.Pair{Low: lowI[si], High: highI[si]})
+				}
+			}
+			if len(pairs) == 0 {
+				continue
+			}
+			m, err := edsr.New(micro, cfg.Seed+300+int64(label))
+			if err != nil {
+				panic(err)
+			}
+			if _, err := m.Train(pairs, edsr.TrainOptions{
+				Steps: cfg.MicroSteps, BatchSize: 2, PatchSize: 12, Seed: cfg.Seed,
+			}); err != nil {
+				panic(err)
+			}
+			models[label] = m
+		}
+
+		// Reconstruct full resolution: per-segment micro model on every
+		// frame vs bicubic on every frame.
+		segOf := func(i int) int {
+			for si, s := range segs {
+				if i >= s.Start && i < s.End {
+					return si
+				}
+			}
+			return len(segs) - 1
+		}
+		var srSum, biSum float64
+		for i, f := range decoded {
+			rgb := f.ToRGB()
+			bi := video.BicubicResizeRGB(rgb, fullW, fullH)
+			biSum += quality.PSNR(full[i], bi)
+			if m, ok := models[assign[segOf(i)]]; ok {
+				srSum += quality.PSNR(full[i], m.Enhance(rgb))
+			} else {
+				srSum += quality.PSNR(full[i], bi)
+			}
+		}
+		n := float64(len(decoded))
+		res.SRPSNR[g.String()] = srSum / n
+		res.BicubicPSNR[g.String()] = biSum / n
+		t.Add(g.String(), f2(biSum/n), f2(srSum/n), fmt.Sprintf("%+.2f dB", (srSum-biSum)/n))
+	}
+	return t, res
+}
+
+// clusterIFrames runs the VAE+global-k-means stage standalone (the core
+// pipeline couples it to same-resolution preparation).
+func clusterIFrames(cfg EvalConfig, iframes []*video.RGB, n int) []int {
+	if n < 3 {
+		return make([]int, n)
+	}
+	prepCfg := cfg.serverConfig()
+	vm, err := newTrainedVAE(prepCfg, iframes, cfg.Seed)
+	if err != nil {
+		panic(err)
+	}
+	feats := make([][]float64, len(iframes))
+	for i, f := range iframes {
+		feats[i] = vm.Features(f)
+	}
+	k := 3
+	if k > n-1 {
+		k = n - 1
+	}
+	res, err := globalKMeans(feats, k)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func maxInt(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcsr/internal/tensor"
+)
+
+func TestFloat16RoundTripExactValues(t *testing.T) {
+	// Values exactly representable in fp16 must survive unchanged.
+	for _, v := range []float32{0, 1, -1, 0.5, 2, -2, 0.25, 1024, -0.09375} {
+		if got := Float16To32(Float32To16(v)); got != v {
+			t.Errorf("fp16 round trip of %v gave %v", v, got)
+		}
+	}
+}
+
+func TestFloat16RelativeError(t *testing.T) {
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return true
+		}
+		// Keep within fp16 normal range.
+		if v > 60000 || v < -60000 {
+			return true
+		}
+		got := Float16To32(Float32To16(v))
+		if v == 0 {
+			return got == 0
+		}
+		if math.Abs(float64(v)) < 6.2e-5 { // subnormal territory
+			return math.Abs(float64(got-v)) < 1e-4
+		}
+		rel := math.Abs(float64(got-v)) / math.Abs(float64(v))
+		return rel < 1.0/1024 // 10-bit mantissa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat16Specials(t *testing.T) {
+	if Float16To32(Float32To16(float32(math.Inf(1)))) != float32(math.Inf(1)) {
+		t.Error("inf not preserved")
+	}
+	if !math.IsNaN(float64(Float16To32(Float32To16(float32(math.NaN()))))) {
+		t.Error("NaN not preserved")
+	}
+	// Overflow saturates to inf.
+	if Float16To32(Float32To16(1e30)) != float32(math.Inf(1)) {
+		t.Error("overflow did not saturate")
+	}
+}
+
+func quantModel(t *testing.T, seed int64) *Sequential {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return &Sequential{Layers: []Layer{
+		NewConv2D(rng, 3, 4, 3, 1, 1), &ReLU{}, NewConv2D(rng, 4, 3, 3, 1, 1),
+	}}
+}
+
+func TestQuantizedRoundTripF16(t *testing.T) {
+	src := quantModel(t, 1)
+	dst := quantModel(t, 2)
+	data := EncodeWeightsQuantized(src.Params(), QuantF16)
+	if len(data) != QuantizedSize(src.Params(), QuantF16) {
+		t.Fatalf("encoded %d bytes, QuantizedSize says %d", len(data), QuantizedSize(src.Params(), QuantF16))
+	}
+	if err := LoadWeightsAny(bytes.NewReader(data), dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src.Params() {
+		for j, v := range p.W.Data {
+			got := dst.Params()[i].W.Data[j]
+			if math.Abs(float64(got-v)) > math.Max(1e-4, math.Abs(float64(v))/512) {
+				t.Fatalf("param %d[%d]: %v -> %v", i, j, v, got)
+			}
+		}
+	}
+}
+
+func TestQuantizedRoundTripInt8(t *testing.T) {
+	src := quantModel(t, 3)
+	dst := quantModel(t, 4)
+	data := EncodeWeightsQuantized(src.Params(), QuantInt8)
+	if err := LoadWeightsAny(bytes.NewReader(data), dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src.Params() {
+		maxAbs := p.W.MaxAbs()
+		for j, v := range p.W.Data {
+			got := dst.Params()[i].W.Data[j]
+			if math.Abs(float64(got-v)) > float64(maxAbs)/127+1e-7 {
+				t.Fatalf("param %d[%d]: %v -> %v exceeds one quantization step", i, j, v, got)
+			}
+		}
+	}
+}
+
+func TestLoadWeightsAnyDetectsFP32(t *testing.T) {
+	src := quantModel(t, 5)
+	dst := quantModel(t, 6)
+	data := EncodeWeights(src.Params())
+	if err := LoadWeightsAny(bytes.NewReader(data), dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src.Params() {
+		for j, v := range p.W.Data {
+			if dst.Params()[i].W.Data[j] != v {
+				t.Fatal("fp32 path lost precision")
+			}
+		}
+	}
+}
+
+func TestQuantizedSizeOrdering(t *testing.T) {
+	ps := quantModel(t, 7).Params()
+	fp32 := QuantizedSize(ps, QuantNone)
+	fp16 := QuantizedSize(ps, QuantF16)
+	int8s := QuantizedSize(ps, QuantInt8)
+	if !(int8s < fp16 && fp16 < fp32) {
+		t.Fatalf("size ordering violated: int8 %d, fp16 %d, fp32 %d", int8s, fp16, fp32)
+	}
+	// fp16 ≈ half of fp32 payload.
+	if float64(fp16) > 0.6*float64(fp32) {
+		t.Errorf("fp16 %d not ≈ half of fp32 %d", fp16, fp32)
+	}
+}
+
+func TestLoadWeightsAnyRejectsGarbage(t *testing.T) {
+	ps := quantModel(t, 8).Params()
+	if err := LoadWeightsAny(bytes.NewReader([]byte("garbagegarbage")), ps); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated quantized stream.
+	data := EncodeWeightsQuantized(ps, QuantInt8)
+	if err := LoadWeightsAny(bytes.NewReader(data[:len(data)-3]), ps); err == nil {
+		t.Fatal("truncated int8 stream accepted")
+	}
+}
+
+func TestZeroTensorInt8(t *testing.T) {
+	p := &Param{Name: "z", W: tensor.New(4), Grad: tensor.New(4)}
+	data := EncodeWeightsQuantized([]*Param{p}, QuantInt8)
+	q := &Param{Name: "z", W: tensor.New(4), Grad: tensor.New(4)}
+	q.W.Fill(9)
+	if err := LoadWeightsAny(bytes.NewReader(data), []*Param{q}); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range q.W.Data {
+		if v != 0 {
+			t.Fatal("zero tensor did not survive int8 round trip")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Weight serialization format: every parameter is written as its element
+// count (uint32) followed by the raw float32 values, little-endian, after a
+// 4-byte magic and a uint32 parameter count. The format is position-based:
+// loading requires a model with an identical parameter layout, which is how
+// dcSR ships micro-model weights alongside video segments (the client knows
+// each model's architecture from the stream manifest).
+
+var weightsMagic = [4]byte{'d', 'c', 'W', '1'}
+
+// SaveWeights writes every parameter in ps to w.
+func SaveWeights(w io.Writer, ps []*Param) error {
+	if _, err := w.Write(weightsMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(ps))); err != nil {
+		return err
+	}
+	for _, p := range ps {
+		if err := binary.Write(w, binary.LittleEndian, uint32(p.W.Len())); err != nil {
+			return err
+		}
+		buf := make([]byte, 4*p.W.Len())
+		for i, v := range p.W.Data {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadWeights reads parameters previously written by SaveWeights into ps.
+// The parameter count and per-parameter sizes must match exactly.
+func LoadWeights(r io.Reader, ps []*Param) error {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return err
+	}
+	if magic != weightsMagic {
+		return fmt.Errorf("nn: bad weights magic %q", magic[:])
+	}
+	var count uint32
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	if int(count) != len(ps) {
+		return fmt.Errorf("nn: weights hold %d params, model has %d", count, len(ps))
+	}
+	for _, p := range ps {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return err
+		}
+		if int(n) != p.W.Len() {
+			return fmt.Errorf("nn: param %q size mismatch: file %d, model %d", p.Name, n, p.W.Len())
+		}
+		buf := make([]byte, 4*n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return err
+		}
+		for i := range p.W.Data {
+			p.W.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		}
+	}
+	return nil
+}
+
+// WeightsSize returns the exact number of bytes SaveWeights would emit for
+// ps. This is the "model download size" used throughout the bandwidth
+// experiments (paper Table 1 and Fig 10).
+func WeightsSize(ps []*Param) int {
+	n := 4 + 4 // magic + count
+	for _, p := range ps {
+		n += 4 + 4*p.W.Len()
+	}
+	return n
+}
+
+// EncodeWeights serializes ps to a byte slice.
+func EncodeWeights(ps []*Param) []byte {
+	var buf bytes.Buffer
+	buf.Grow(WeightsSize(ps))
+	if err := SaveWeights(&buf, ps); err != nil {
+		panic(err) // bytes.Buffer writes cannot fail
+	}
+	return buf.Bytes()
+}
+
+// CopyWeights copies parameter values from src into dst. Layouts must match.
+func CopyWeights(dst, src []*Param) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("nn: CopyWeights param count mismatch %d vs %d", len(dst), len(src))
+	}
+	for i := range dst {
+		if dst[i].W.Len() != src[i].W.Len() {
+			return fmt.Errorf("nn: CopyWeights param %d size mismatch", i)
+		}
+		copy(dst[i].W.Data, src[i].W.Data)
+	}
+	return nil
+}

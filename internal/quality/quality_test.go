@@ -1,0 +1,160 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dcsr/internal/video"
+)
+
+func noisyCopy(rng *rand.Rand, f *video.RGB, sigma float64) *video.RGB {
+	out := f.Clone()
+	for i := range out.Pix {
+		v := float64(out.Pix[i]) + rng.NormFloat64()*sigma
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		out.Pix[i] = uint8(v)
+	}
+	return out
+}
+
+func testImage(rng *rand.Rand, w, h int) *video.RGB {
+	f := video.NewRGB(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			f.Set(x, y, uint8(3*x+rng.Intn(30)), uint8(2*y+rng.Intn(30)), uint8(x+y))
+		}
+	}
+	return f
+}
+
+func TestPSNRIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := testImage(rng, 32, 24)
+	if !math.IsInf(PSNR(f, f), 1) {
+		t.Fatal("PSNR of identical frames must be +Inf")
+	}
+	y := f.ToYUV()
+	if !math.IsInf(PSNRYUV(y, y), 1) {
+		t.Fatal("PSNRYUV of identical frames must be +Inf")
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	a := video.NewRGB(8, 8)
+	b := video.NewRGB(8, 8)
+	for i := range b.Pix {
+		b.Pix[i] = 10 // uniform error of 10 → MSE 100
+	}
+	want := 10 * math.Log10(255*255/100.0)
+	if got := PSNR(a, b); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("PSNR = %v, want %v", got, want)
+	}
+}
+
+func TestPSNRMonotoneInNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := testImage(rng, 48, 32)
+	prev := math.Inf(1)
+	for _, sigma := range []float64{1, 4, 16, 40} {
+		p := PSNR(f, noisyCopy(rng, f, sigma))
+		if p >= prev {
+			t.Fatalf("PSNR %.2f at σ=%v not below %.2f", p, sigma, prev)
+		}
+		prev = p
+	}
+}
+
+func TestSSIMProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := testImage(rng, 64, 48)
+	if s := SSIM(f, f); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("SSIM(x,x) = %v, want 1", s)
+	}
+	sLow := SSIM(f, noisyCopy(rng, f, 30))
+	sHigh := SSIM(f, noisyCopy(rng, f, 5))
+	if !(sLow < sHigh && sHigh < 1) {
+		t.Fatalf("SSIM ordering violated: noisy=%.4f mild=%.4f", sLow, sHigh)
+	}
+	if sLow < -1 || sLow > 1 {
+		t.Fatalf("SSIM out of range: %v", sLow)
+	}
+}
+
+func TestSSIMSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := testImage(rng, 24, 16)
+		b := noisyCopy(rng, a, 12)
+		return math.Abs(SSIM(a, b)-SSIM(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSIMYUVAgreesWithRGBOnGray(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := video.NewRGB(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			v := uint8(rng.Intn(256))
+			a.Set(x, y, v, v, v)
+		}
+	}
+	b := noisyCopy(rng, a, 10)
+	sRGB := SSIM(a, b)
+	sYUV := SSIMYUV(a.ToYUV(), b.ToYUV())
+	if math.Abs(sRGB-sYUV) > 0.1 {
+		t.Fatalf("gray SSIM mismatch: RGB %.4f vs YUV %.4f", sRGB, sYUV)
+	}
+}
+
+func TestSSIMTinyFrame(t *testing.T) {
+	a := video.NewRGB(4, 4)
+	if s := SSIM(a, a); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("tiny-frame SSIM(x,x) = %v", s)
+	}
+}
+
+func TestMetricDimensionMismatchPanics(t *testing.T) {
+	a := video.NewRGB(8, 8)
+	b := video.NewRGB(16, 8)
+	for name, fn := range map[string]func(){
+		"PSNR": func() { PSNR(a, b) },
+		"SSIM": func() { SSIM(a, b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on mismatched dims", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{10, 20, 30})
+	if s.Mean != 20 || s.Min != 10 || s.Max != 30 || s.N != 3 {
+		t.Fatalf("bad stats %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(200.0/3.0)) > 1e-9 {
+		t.Fatalf("stddev %v", s.StdDev)
+	}
+	// +Inf entries (identical frames) are ignored.
+	s2 := Summarize([]float64{10, math.Inf(1), 30})
+	if s2.N != 2 || s2.Mean != 20 {
+		t.Fatalf("Inf not ignored: %+v", s2)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summarize %+v", z)
+	}
+}

@@ -1,0 +1,157 @@
+// Package stream implements the streaming-session bookkeeping of dcSR's
+// client: the manifest mapping video segments to micro-model labels, the
+// model cache with the fetch-on-miss policy of paper Algorithm 1, and
+// byte-accurate download accounting used by the bandwidth experiments
+// (paper Fig 10).
+package stream
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SegmentInfo describes one video segment in a manifest.
+type SegmentInfo struct {
+	Index      int
+	Start, End int // frame range [Start, End)
+	Bytes      int // serialized segment size
+	ModelLabel int // micro model this segment needs; -1 for none
+}
+
+// ModelInfo describes one downloadable micro model.
+type ModelInfo struct {
+	Label int
+	Bytes int
+}
+
+// Manifest is the per-video index a dcSR client downloads first: the
+// segment list (HashMap_L of Algorithm 1 is the Segment→ModelLabel
+// mapping) and the model directory.
+type Manifest struct {
+	Segments []SegmentInfo
+	Models   map[int]ModelInfo
+}
+
+// Validate checks internal consistency.
+func (m *Manifest) Validate() error {
+	for _, s := range m.Segments {
+		if s.ModelLabel >= 0 {
+			if _, ok := m.Models[s.ModelLabel]; !ok {
+				return fmt.Errorf("stream: segment %d references unknown model %d", s.Index, s.ModelLabel)
+			}
+		}
+		if s.End <= s.Start {
+			return fmt.Errorf("stream: segment %d has empty frame range", s.Index)
+		}
+	}
+	return nil
+}
+
+// TotalVideoBytes sums all segment payloads.
+func (m *Manifest) TotalVideoBytes() int {
+	n := 0
+	for _, s := range m.Segments {
+		n += s.Bytes
+	}
+	return n
+}
+
+// TotalModelBytes sums the unique model payloads.
+func (m *Manifest) TotalModelBytes() int {
+	n := 0
+	for _, mi := range m.Models {
+		n += mi.Bytes
+	}
+	return n
+}
+
+// ModelLabels returns the sorted distinct model labels.
+func (m *Manifest) ModelLabels() []int {
+	labels := make([]int, 0, len(m.Models))
+	for l := range m.Models {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
+	return labels
+}
+
+// Event records one segment step of a session walk-through (the rows of
+// paper Fig 7).
+type Event struct {
+	Segment         int
+	ModelLabel      int
+	ModelDownloaded bool // false = cache hit or no model needed
+	SegmentBytes    int
+	ModelBytes      int
+}
+
+// Session simulates a client streaming session: segments are downloaded in
+// order and each segment's micro model is fetched only on cache miss
+// (Algorithm 1). The zero value is not usable; call NewSession.
+type Session struct {
+	manifest *Manifest
+	cache    map[int]bool
+	useCache bool
+
+	Events     []Event
+	VideoBytes int
+	ModelBytes int
+	CacheHits  int
+	Downloads  int
+}
+
+// NewSession starts a session over manifest. When useCache is false every
+// segment re-downloads its model (the ablation of paper §3.2.2).
+func NewSession(m *Manifest, useCache bool) (*Session, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Session{manifest: m, cache: make(map[int]bool), useCache: useCache}, nil
+}
+
+// Run walks every segment in order, applying Algorithm 1, and returns the
+// total bytes transferred.
+func (s *Session) Run() int {
+	for _, seg := range s.manifest.Segments {
+		s.Step(seg)
+	}
+	return s.TotalBytes()
+}
+
+// Step processes one segment: download the segment, then fetch its model
+// if it is not cached (Algorithm 1 lines 3–6).
+func (s *Session) Step(seg SegmentInfo) Event {
+	ev := Event{Segment: seg.Index, ModelLabel: seg.ModelLabel, SegmentBytes: seg.Bytes}
+	s.VideoBytes += seg.Bytes
+	if seg.ModelLabel >= 0 {
+		if s.useCache && s.cache[seg.ModelLabel] {
+			s.CacheHits++
+		} else {
+			mi := s.manifest.Models[seg.ModelLabel]
+			ev.ModelDownloaded = true
+			ev.ModelBytes = mi.Bytes
+			s.ModelBytes += mi.Bytes
+			s.Downloads++
+			if s.useCache {
+				s.cache[seg.ModelLabel] = true
+			}
+		}
+	}
+	s.Events = append(s.Events, ev)
+	return ev
+}
+
+// TotalBytes returns video + model bytes transferred so far.
+func (s *Session) TotalBytes() int { return s.VideoBytes + s.ModelBytes }
+
+// CacheContents returns the sorted labels currently cached.
+func (s *Session) CacheContents() []int {
+	var labels []int
+	for l, ok := range s.cache {
+		if ok {
+			labels = append(labels, l)
+		}
+	}
+	sort.Ints(labels)
+	return labels
+}

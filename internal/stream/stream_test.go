@@ -1,0 +1,130 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+)
+
+// paperFig7Manifest reproduces the walk-through example of paper Fig 7:
+// segments 0..6 with model labels 0,1,1,2,2,2,3.
+func paperFig7Manifest() *Manifest {
+	labels := []int{0, 1, 1, 2, 2, 2, 3}
+	m := &Manifest{Models: map[int]ModelInfo{
+		0: {Label: 0, Bytes: 100},
+		1: {Label: 1, Bytes: 110},
+		2: {Label: 2, Bytes: 120},
+		3: {Label: 3, Bytes: 130},
+	}}
+	for i, l := range labels {
+		m.Segments = append(m.Segments, SegmentInfo{
+			Index: i, Start: i * 10, End: (i + 1) * 10, Bytes: 1000, ModelLabel: l,
+		})
+	}
+	return m
+}
+
+func TestPaperFig7WalkThrough(t *testing.T) {
+	m := paperFig7Manifest()
+	s, err := NewSession(m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	// Models download exactly at segments 0, 1, 3 and 6 (paper Fig 7).
+	wantDownloads := map[int]bool{0: true, 1: true, 3: true, 6: true}
+	for _, ev := range s.Events {
+		if ev.ModelDownloaded != wantDownloads[ev.Segment] {
+			t.Errorf("segment %d: downloaded=%v, want %v", ev.Segment, ev.ModelDownloaded, wantDownloads[ev.Segment])
+		}
+	}
+	if s.Downloads != 4 {
+		t.Errorf("downloads = %d, want 4", s.Downloads)
+	}
+	if s.CacheHits != 3 {
+		t.Errorf("cache hits = %d, want 3 (segments 2, 4, 5)", s.CacheHits)
+	}
+	if got := s.CacheContents(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("cache contents %v", got)
+	}
+	if s.ModelBytes != 100+110+120+130 {
+		t.Errorf("model bytes %d", s.ModelBytes)
+	}
+	if s.VideoBytes != 7000 {
+		t.Errorf("video bytes %d", s.VideoBytes)
+	}
+	if s.TotalBytes() != s.VideoBytes+s.ModelBytes {
+		t.Error("TotalBytes inconsistent")
+	}
+}
+
+func TestNoCacheDownloadsEverySegment(t *testing.T) {
+	m := paperFig7Manifest()
+	s, err := NewSession(m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	if s.Downloads != 7 {
+		t.Errorf("no-cache downloads = %d, want 7", s.Downloads)
+	}
+	if s.CacheHits != 0 {
+		t.Errorf("no-cache hits = %d", s.CacheHits)
+	}
+	// Caching saves exactly the re-downloads: 1×110 + 2×120.
+	withCache, _ := NewSession(m, true)
+	withCache.Run()
+	if saved := s.ModelBytes - withCache.ModelBytes; saved != 110+120+120 {
+		t.Errorf("cache saved %d bytes, want %d", saved, 110+120+120)
+	}
+}
+
+func TestSegmentsWithoutModels(t *testing.T) {
+	m := &Manifest{
+		Segments: []SegmentInfo{
+			{Index: 0, Start: 0, End: 5, Bytes: 500, ModelLabel: -1},
+			{Index: 1, Start: 5, End: 9, Bytes: 400, ModelLabel: -1},
+		},
+		Models: map[int]ModelInfo{},
+	}
+	s, err := NewSession(m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := s.Run()
+	if total != 900 || s.Downloads != 0 {
+		t.Fatalf("total=%d downloads=%d", total, s.Downloads)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	bad := &Manifest{
+		Segments: []SegmentInfo{{Index: 0, Start: 0, End: 5, ModelLabel: 9}},
+		Models:   map[int]ModelInfo{},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted dangling model reference")
+	}
+	empty := &Manifest{
+		Segments: []SegmentInfo{{Index: 0, Start: 5, End: 5, ModelLabel: -1}},
+		Models:   map[int]ModelInfo{},
+	}
+	if err := empty.Validate(); err == nil {
+		t.Error("accepted empty segment range")
+	}
+	if _, err := NewSession(bad, true); err == nil {
+		t.Error("NewSession accepted invalid manifest")
+	}
+}
+
+func TestManifestTotals(t *testing.T) {
+	m := paperFig7Manifest()
+	if m.TotalVideoBytes() != 7000 {
+		t.Errorf("TotalVideoBytes %d", m.TotalVideoBytes())
+	}
+	if m.TotalModelBytes() != 460 {
+		t.Errorf("TotalModelBytes %d", m.TotalModelBytes())
+	}
+	if got := m.ModelLabels(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Errorf("ModelLabels %v", got)
+	}
+}

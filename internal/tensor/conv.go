@@ -1,0 +1,251 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ConvSpec describes a 2-D convolution: square kernel of size K with stride
+// S and zero padding P, mapping InC input channels to OutC output channels.
+type ConvSpec struct {
+	InC, OutC int
+	K         int
+	Stride    int
+	Pad       int
+}
+
+// OutSize returns the spatial output size for an input of size (h, w).
+func (c ConvSpec) OutSize(h, w int) (oh, ow int) {
+	oh = (h+2*c.Pad-c.K)/c.Stride + 1
+	ow = (w+2*c.Pad-c.K)/c.Stride + 1
+	return oh, ow
+}
+
+// im2col expands input x (C,H,W starting at offset into x.Data given base)
+// into a column matrix of shape (C*K*K, OH*OW) stored in col.
+func im2col(x []float32, c, h, w int, spec ConvSpec, col []float32) {
+	oh, ow := spec.OutSize(h, w)
+	k, s, p := spec.K, spec.Stride, spec.Pad
+	idx := 0
+	for ch := 0; ch < c; ch++ {
+		plane := x[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*s + ky - p
+					rowBase := idx + oy*ow
+					if iy < 0 || iy >= h {
+						for ox := 0; ox < ow; ox++ {
+							col[rowBase+ox] = 0
+						}
+						continue
+					}
+					src := plane[iy*w : (iy+1)*w]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*s + kx - p
+						if ix < 0 || ix >= w {
+							col[rowBase+ox] = 0
+						} else {
+							col[rowBase+ox] = src[ix]
+						}
+					}
+				}
+				idx += oh * ow
+			}
+		}
+	}
+}
+
+// col2im is the adjoint of im2col: it accumulates the column matrix back
+// into an image gradient of shape (C,H,W).
+func col2im(col []float32, c, h, w int, spec ConvSpec, x []float32) {
+	oh, ow := spec.OutSize(h, w)
+	k, s, p := spec.K, spec.Stride, spec.Pad
+	idx := 0
+	for ch := 0; ch < c; ch++ {
+		plane := x[ch*h*w : (ch+1)*h*w]
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*s + ky - p
+					if iy < 0 || iy >= h {
+						continue
+					}
+					rowBase := idx + oy*ow
+					dst := plane[iy*w : (iy+1)*w]
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*s + kx - p
+						if ix >= 0 && ix < w {
+							dst[ix] += col[rowBase+ox]
+						}
+					}
+				}
+				idx += oh * ow
+			}
+		}
+	}
+}
+
+// matmul computes out = a(m×k) * b(k×n), parallelized over rows of a.
+func matmul(a, b, out []float32, m, k, n int) {
+	parallelFor(m, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			arow := a[i*k : (i+1)*k]
+			orow := out[i*n : (i+1)*n]
+			for j := range orow {
+				orow[j] = 0
+			}
+			for kk, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b[kk*n : (kk+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// matmulTA computes out(k×n) = aᵀ(m×k)ᵀ * b ... precisely out = aᵀ * b where
+// a is (m×k) and b is (m×n): out[kk][j] = Σ_i a[i][kk] * b[i][j].
+func matmulTA(a, b, out []float32, m, k, n int) {
+	for i := range out {
+		out[i] = 0
+	}
+	parallelFor(k, func(k0, k1 int) {
+		for i := 0; i < m; i++ {
+			arow := a[i*k : (i+1)*k]
+			brow := b[i*n : (i+1)*n]
+			for kk := k0; kk < k1; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				orow := out[kk*n : (kk+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// parallelFor splits [0,n) across workers and blocks until all complete.
+func parallelFor(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Conv2DForward computes a batched 2-D convolution.
+//
+//	x: (N, InC, H, W),  w: (OutC, InC, K, K),  b: (OutC) or nil
+//
+// It returns the output (N, OutC, OH, OW) and the im2col buffers for each
+// batch element, which the backward pass reuses to avoid recomputation.
+func Conv2DForward(x, w, b *Tensor, spec ConvSpec) (out *Tensor, cols [][]float32) {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if c != spec.InC {
+		panic("tensor: Conv2DForward channel mismatch")
+	}
+	oh, ow := spec.OutSize(h, wd)
+	out = New(n, spec.OutC, oh, ow)
+	colRows := spec.InC * spec.K * spec.K
+	colCols := oh * ow
+	cols = make([][]float32, n)
+	for i := 0; i < n; i++ {
+		col := make([]float32, colRows*colCols)
+		im2col(x.Data[i*c*h*wd:(i+1)*c*h*wd], c, h, wd, spec, col)
+		cols[i] = col
+		// out_i (OutC × OH*OW) = W(OutC × colRows) * col(colRows × colCols)
+		matmul(w.Data, col, out.Data[i*spec.OutC*colCols:(i+1)*spec.OutC*colCols], spec.OutC, colRows, colCols)
+	}
+	if b != nil {
+		for i := 0; i < n; i++ {
+			for oc := 0; oc < spec.OutC; oc++ {
+				bias := b.Data[oc]
+				plane := out.Data[(i*spec.OutC+oc)*colCols : (i*spec.OutC+oc+1)*colCols]
+				for j := range plane {
+					plane[j] += bias
+				}
+			}
+		}
+	}
+	return out, cols
+}
+
+// Conv2DBackward computes gradients for a convolution given the upstream
+// gradient gy (N, OutC, OH, OW), the saved im2col buffers, the input shape,
+// and the weights. It returns gradX and accumulates into gw and gb (which
+// must be pre-allocated to the weight/bias shapes).
+func Conv2DBackward(gy *Tensor, cols [][]float32, xShape []int, w, gw, gb *Tensor, spec ConvSpec) (gx *Tensor) {
+	n, c, h, wd := xShape[0], xShape[1], xShape[2], xShape[3]
+	oh, ow := spec.OutSize(h, wd)
+	colRows := spec.InC * spec.K * spec.K
+	colCols := oh * ow
+	gx = New(n, c, h, wd)
+	gcol := make([]float32, colRows*colCols)
+	gwTmp := make([]float32, len(gw.Data))
+	for i := 0; i < n; i++ {
+		gyi := gy.Data[i*spec.OutC*colCols : (i+1)*spec.OutC*colCols]
+		// gw += gy_i (OutC × colCols) * col_iᵀ (colCols × colRows)
+		// computed as matmulATB over transposed operands:
+		// gw[oc][r] = Σ_j gy[oc][j] * col[r][j]
+		convGradWeights(gyi, cols[i], gwTmp, spec.OutC, colRows, colCols)
+		for j, v := range gwTmp {
+			gw.Data[j] += v
+		}
+		if gb != nil {
+			for oc := 0; oc < spec.OutC; oc++ {
+				var s float32
+				plane := gyi[oc*colCols : (oc+1)*colCols]
+				for _, v := range plane {
+					s += v
+				}
+				gb.Data[oc] += s
+			}
+		}
+		// gcol (colRows × colCols) = Wᵀ (colRows × OutC) * gy_i
+		matmulTA(w.Data, gyi, gcol, spec.OutC, colRows, colCols)
+		col2im(gcol, c, h, wd, spec, gx.Data[i*c*h*wd:(i+1)*c*h*wd])
+	}
+	return gx
+}
+
+// convGradWeights computes gw[oc][r] = Σ_j gy[oc][j] * col[r][j].
+func convGradWeights(gy, col, gw []float32, outC, colRows, colCols int) {
+	parallelFor(outC, func(lo, hi int) {
+		for oc := lo; oc < hi; oc++ {
+			gyRow := gy[oc*colCols : (oc+1)*colCols]
+			for r := 0; r < colRows; r++ {
+				colRow := col[r*colCols : (r+1)*colCols]
+				var s float32
+				for j, v := range gyRow {
+					s += v * colRow[j]
+				}
+				gw[oc*colRows+r] = s
+			}
+		}
+	})
+}

@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+
+	"dcsr/internal/codec"
+	"dcsr/internal/edsr"
+	"dcsr/internal/nn"
+	"dcsr/internal/video"
+)
+
+// Client fetches a dcSR stream over a connection. It is not safe for
+// concurrent use (the protocol is strictly request/response per
+// connection); open one client per goroutine.
+type Client struct {
+	conn io.ReadWriter
+
+	// BytesDown counts payload plus framing bytes received.
+	BytesDown int
+	// BytesUp counts request bytes sent.
+	BytesUp int
+}
+
+// NewClient wraps an established connection (TCP, net.Pipe, throttled…).
+func NewClient(conn io.ReadWriter) *Client { return &Client{conn: conn} }
+
+// Dial connects to a Server over TCP.
+func Dial(addr string) (*Client, net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewClient(conn), conn, nil
+}
+
+func (c *Client) roundTrip(op byte, arg uint32) ([]byte, error) {
+	if err := writeRequest(c.conn, op, arg); err != nil {
+		return nil, err
+	}
+	c.BytesUp += 9
+	status, payload, err := readResponse(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	c.BytesDown += 5 + len(payload)
+	switch status {
+	case StatusOK:
+		return payload, nil
+	case StatusNotFound:
+		return nil, fmt.Errorf("transport: op %d arg %d: not found", op, arg)
+	default:
+		return nil, fmt.Errorf("transport: op %d arg %d: status %d", op, arg, status)
+	}
+}
+
+// Manifest fetches and parses the stream manifest.
+func (c *Client) Manifest() (*WireManifest, error) {
+	data, err := c.roundTrip(OpManifest, 0)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeWireManifest(data)
+}
+
+// Segment fetches segment i as a decodable sub-stream.
+func (c *Client) Segment(i int) (*codec.Stream, error) {
+	data, err := c.roundTrip(OpSegment, uint32(i))
+	if err != nil {
+		return nil, err
+	}
+	return codec.Unmarshal(data)
+}
+
+// Model fetches and deserializes micro model label into a ready model of
+// the given configuration.
+func (c *Client) Model(label int, cfg edsr.Config) (*edsr.Model, int, error) {
+	data, err := c.roundTrip(OpModel, uint32(label))
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := edsr.New(cfg, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := nn.LoadWeights(bytes.NewReader(data), m.Params()); err != nil {
+		return nil, 0, fmt.Errorf("transport: model %d: %w", label, err)
+	}
+	return m, len(data), nil
+}
+
+// PlayStats summarizes a streamed playback session.
+type PlayStats struct {
+	Segments       int
+	ModelDownloads int
+	CacheHits      int
+	VideoBytes     int
+	ModelBytes     int
+	Enhanced       int
+}
+
+// Play streams the whole video segment by segment: fetch the sub-stream,
+// fetch its micro model on cache miss (paper Algorithm 1), decode with the
+// model patched into the decoder's I-frame hook, and append the frames.
+// With enhance=false it plays the raw low-quality stream.
+func (c *Client) Play(enhance bool) ([]*video.YUV, *PlayStats, error) {
+	wm, err := c.Manifest()
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &PlayStats{}
+	cache := make(map[int]*edsr.Model)
+	var out []*video.YUV
+	for _, seg := range wm.Segments {
+		sub, err := c.Segment(seg.Index)
+		if err != nil {
+			return nil, nil, fmt.Errorf("transport: segment %d: %w", seg.Index, err)
+		}
+		stats.Segments++
+		stats.VideoBytes += seg.Bytes
+		var model *edsr.Model
+		if enhance && seg.ModelLabel >= 0 {
+			if m, ok := cache[seg.ModelLabel]; ok {
+				model = m
+				stats.CacheHits++
+			} else {
+				m, n, err := c.Model(seg.ModelLabel, wm.MicroConfig)
+				if err != nil {
+					return nil, nil, err
+				}
+				cache[seg.ModelLabel] = m
+				model = m
+				stats.ModelDownloads++
+				stats.ModelBytes += n
+			}
+		}
+		dec := codec.Decoder{Mode: codec.PropagateDelta}
+		if model != nil {
+			m := model
+			dec.Enhancer = codec.EnhancerFunc(func(_ int, f *video.YUV) *video.YUV {
+				return m.EnhanceYUV(f)
+			})
+		}
+		frames, err := dec.Decode(sub)
+		if err != nil {
+			return nil, nil, fmt.Errorf("transport: decoding segment %d: %w", seg.Index, err)
+		}
+		stats.Enhanced += dec.Stats.Enhanced
+		out = append(out, frames...)
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,51 @@
+package transport
+
+import (
+	"reflect"
+	"testing"
+
+	"dcsr/internal/edsr"
+	"dcsr/internal/stream"
+)
+
+func TestWireManifestRoundTrip(t *testing.T) {
+	m := &stream.Manifest{
+		Segments: []stream.SegmentInfo{
+			{Index: 0, Start: 0, End: 10, Bytes: 1000, ModelLabel: 0},
+			{Index: 1, Start: 10, End: 25, Bytes: 1500, ModelLabel: 1},
+			{Index: 2, Start: 25, End: 30, Bytes: 400, ModelLabel: 0},
+		},
+		Models: map[int]stream.ModelInfo{
+			0: {Label: 0, Bytes: 5000},
+			1: {Label: 1, Bytes: 5100},
+		},
+	}
+	micro := edsr.Config{Filters: 8, ResBlocks: 2, Scale: 1}
+	data, err := EncodeWireManifest(30, micro, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := DecodeWireManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wm.FPS != 30 || wm.MicroConfig != micro {
+		t.Fatalf("header mismatch: %+v", wm)
+	}
+	back := wm.Manifest()
+	if !reflect.DeepEqual(back.Segments, m.Segments) {
+		t.Fatalf("segments differ:\n%v\n%v", back.Segments, m.Segments)
+	}
+	if !reflect.DeepEqual(back.Models, m.Models) {
+		t.Fatalf("models differ:\n%v\n%v", back.Models, m.Models)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeWireManifestRejectsGarbage(t *testing.T) {
+	if _, err := DecodeWireManifest([]byte("{nope")); err == nil {
+		t.Fatal("garbage JSON accepted")
+	}
+}

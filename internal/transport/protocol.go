@@ -1,0 +1,137 @@
+// Package transport serves and fetches dcSR artifacts over real network
+// connections: a length-prefixed binary request/response protocol, a
+// concurrent origin server wrapping a prepared stream, a client with
+// micro-model caching, and a token-bucket bandwidth throttler for
+// emulating constrained links.
+//
+// The paper's prototype pairs a streaming platform with SR-FFMPEG; this
+// package is the equivalent delivery path: the client downloads the
+// manifest, then per segment the coded sub-stream plus (on cache miss) the
+// segment's micro model, decoding and enhancing as it goes.
+package transport
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dcsr/internal/edsr"
+	"dcsr/internal/stream"
+)
+
+// Opcodes of the request protocol.
+const (
+	OpManifest = 1 // payload: none          → JSON WireManifest
+	OpSegment  = 2 // payload: segment index → marshaled codec.Stream
+	OpModel    = 3 // payload: model label   → serialized weights
+)
+
+// Response status codes.
+const (
+	StatusOK       = 0
+	StatusNotFound = 1
+	StatusBadReq   = 2
+)
+
+// maxPayload bounds a single response (64 MiB) so a corrupt or malicious
+// length prefix cannot make the client allocate unbounded memory.
+const maxPayload = 64 << 20
+
+var protoMagic = [4]byte{'d', 'c', 'T', '1'}
+
+// WireManifest is the JSON document served for OpManifest: the byte-level
+// manifest plus everything a client needs to decode and enhance.
+type WireManifest struct {
+	FPS         int                  `json:"fps"`
+	MicroConfig edsr.Config          `json:"micro_config"`
+	Segments    []stream.SegmentInfo `json:"segments"`
+	Models      []stream.ModelInfo   `json:"models"`
+}
+
+// Manifest converts the wire form back to a stream.Manifest.
+func (wm *WireManifest) Manifest() *stream.Manifest {
+	m := &stream.Manifest{Models: make(map[int]stream.ModelInfo, len(wm.Models))}
+	m.Segments = append(m.Segments, wm.Segments...)
+	for _, mi := range wm.Models {
+		m.Models[mi.Label] = mi
+	}
+	return m
+}
+
+// EncodeWireManifest serializes a manifest for OpManifest responses.
+func EncodeWireManifest(fps int, micro edsr.Config, m *stream.Manifest) ([]byte, error) {
+	wm := WireManifest{FPS: fps, MicroConfig: micro, Segments: m.Segments}
+	for _, l := range m.ModelLabels() {
+		wm.Models = append(wm.Models, m.Models[l])
+	}
+	return json.Marshal(wm)
+}
+
+// DecodeWireManifest parses an OpManifest payload.
+func DecodeWireManifest(data []byte) (*WireManifest, error) {
+	var wm WireManifest
+	if err := json.Unmarshal(data, &wm); err != nil {
+		return nil, fmt.Errorf("transport: bad manifest payload: %w", err)
+	}
+	return &wm, nil
+}
+
+// writeRequest frames a request: magic, opcode byte, uint32 argument.
+func writeRequest(w io.Writer, op byte, arg uint32) error {
+	var buf [9]byte
+	copy(buf[:4], protoMagic[:])
+	buf[4] = op
+	binary.BigEndian.PutUint32(buf[5:], arg)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readRequest parses a request frame. io.EOF is returned as-is so servers
+// can treat a clean close between requests as normal termination.
+func readRequest(r io.Reader) (op byte, arg uint32, err error) {
+	var buf [9]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		if err == io.EOF {
+			return 0, 0, io.EOF
+		}
+		return 0, 0, fmt.Errorf("transport: reading request: %w", err)
+	}
+	if [4]byte(buf[:4]) != protoMagic {
+		return 0, 0, fmt.Errorf("transport: bad request magic %x", buf[:4])
+	}
+	return buf[4], binary.BigEndian.Uint32(buf[5:]), nil
+}
+
+// writeResponse frames a response: status byte + uint32 length + payload.
+func writeResponse(w io.Writer, status byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = status
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readResponse parses a response frame, enforcing the payload bound.
+func readResponse(r io.Reader) (status byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("transport: reading response header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("transport: response of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("transport: reading response payload: %w", err)
+	}
+	return hdr[0], payload, nil
+}

@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"dcsr/internal/core"
+)
+
+// Server serves one prepared dcSR stream to any number of concurrent
+// clients. It is safe for concurrent use; all served state is immutable
+// after construction.
+type Server struct {
+	manifest []byte
+	segments [][]byte
+	models   map[uint32][]byte
+
+	// ErrorLog receives per-connection errors; nil discards them.
+	ErrorLog *log.Logger
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer packages a prepared stream for serving: the manifest, every
+// segment as an independently decodable sub-stream, and every micro model.
+func NewServer(p *core.Prepared) (*Server, error) {
+	man, err := EncodeWireManifest(p.FPS, p.MicroConfig, p.Manifest)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		manifest: man,
+		models:   make(map[uint32][]byte),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	for i := range p.Segments {
+		sub, err := p.SegmentStream(i)
+		if err != nil {
+			return nil, fmt.Errorf("transport: packaging segment %d: %w", i, err)
+		}
+		s.segments = append(s.segments, sub.Marshal())
+	}
+	for label, sm := range p.Models {
+		if label < 0 {
+			continue
+		}
+		s.models[uint32(label)] = sm.Bytes
+	}
+	return s, nil
+}
+
+// Serve accepts connections on l until Close is called. It always returns
+// a non-nil error; after Close it returns net.ErrClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			if err := s.ServeConn(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("transport: conn %v: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// ServeConn answers requests on a single connection until it closes. It is
+// exported so tests and in-process clients can use net.Pipe.
+func (s *Server) ServeConn(conn io.ReadWriter) error {
+	for {
+		op, arg, err := readRequest(conn)
+		if err != nil {
+			return err
+		}
+		switch op {
+		case OpManifest:
+			err = writeResponse(conn, StatusOK, s.manifest)
+		case OpSegment:
+			if int(arg) >= len(s.segments) {
+				err = writeResponse(conn, StatusNotFound, nil)
+			} else {
+				err = writeResponse(conn, StatusOK, s.segments[arg])
+			}
+		case OpModel:
+			data, ok := s.models[arg]
+			if !ok {
+				err = writeResponse(conn, StatusNotFound, nil)
+			} else {
+				err = writeResponse(conn, StatusOK, data)
+			}
+		default:
+			err = writeResponse(conn, StatusBadReq, nil)
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// Close stops the listener, closes active connections and waits for
+// handler goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.ErrorLog != nil {
+		s.ErrorLog.Printf(format, args...)
+	}
+}

@@ -1,0 +1,142 @@
+package vae
+
+import (
+	"math"
+	"testing"
+
+	"dcsr/internal/video"
+)
+
+func sceneFrames(t testing.TB, scenes, perScene int) (frames []*video.RGB, labels []int) {
+	t.Helper()
+	cues := make([]video.Cue, scenes)
+	for i := range cues {
+		cues[i] = video.Cue{Scene: i, Frames: perScene}
+	}
+	clip := video.Generate(video.GenConfig{W: 48, H: 48, Seed: 21, NumScenes: scenes, Cues: cues})
+	return clip.Frames(), clip.Labels()
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{ImgSize: 18}, 1); err == nil {
+		t.Error("accepted ImgSize not divisible by 4")
+	}
+	if _, err := New(Config{}, 1); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestFeaturesDeterministicAndSized(t *testing.T) {
+	frames, _ := sceneFrames(t, 2, 2)
+	m, err := New(Config{ImgSize: 16, LatentDim: 6, BaseCh: 4}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1 := m.Features(frames[0])
+	f2 := m.Features(frames[0])
+	if len(f1) != 6 {
+		t.Fatalf("latent dim %d, want 6", len(f1))
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatal("Features not deterministic (must use μ, not a sample)")
+		}
+	}
+}
+
+func TestTrainingReducesReconstruction(t *testing.T) {
+	frames, _ := sceneFrames(t, 3, 3)
+	m, err := New(Config{ImgSize: 16, LatentDim: 8, BaseCh: 4}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruction error before training.
+	before := reconMSE(m, frames)
+	res, err := m.Train(frames, TrainOptions{Epochs: 30, BatchSize: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := reconMSE(m, frames)
+	t.Logf("recon MSE %.4f -> %.4f (final train recon %.4f, KL %.2f)", before, after, res.FinalRecon, res.FinalKL)
+	if after >= before {
+		t.Fatalf("training did not reduce reconstruction error: %.4f -> %.4f", before, after)
+	}
+	if res.FinalKL < 0 {
+		t.Errorf("KL must be nonnegative, got %v", res.FinalKL)
+	}
+}
+
+func reconMSE(m *Model, frames []*video.RGB) float64 {
+	var sum float64
+	for _, f := range frames {
+		r := m.Reconstruct(f)
+		ref := video.ResizeRGB(f, m.Cfg.ImgSize, m.Cfg.ImgSize)
+		var mse float64
+		for i := range r.Pix {
+			d := float64(r.Pix[i]) - float64(ref.Pix[i])
+			mse += d * d
+		}
+		sum += mse / float64(len(r.Pix))
+	}
+	return sum / float64(len(frames))
+}
+
+func TestLatentSeparatesScenes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in short mode")
+	}
+	// The property clustering relies on: frames of the same scene must be
+	// closer in latent space than frames of different scenes.
+	frames, labels := sceneFrames(t, 3, 4)
+	m, err := New(Config{ImgSize: 16, LatentDim: 8, BaseCh: 4}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Train(frames, TrainOptions{Epochs: 40, BatchSize: 4, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	feats := make([][]float64, len(frames))
+	for i, f := range frames {
+		feats[i] = m.Features(f)
+	}
+	var intra, inter []float64
+	for i := range feats {
+		for j := i + 1; j < len(feats); j++ {
+			d := dist(feats[i], feats[j])
+			if labels[i] == labels[j] {
+				intra = append(intra, d)
+			} else {
+				inter = append(inter, d)
+			}
+		}
+	}
+	mi, me := mean(intra), mean(inter)
+	t.Logf("intra-scene dist %.4f, inter-scene dist %.4f", mi, me)
+	if mi >= me {
+		t.Fatalf("latent space does not separate scenes: intra %.4f >= inter %.4f", mi, me)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	m, _ := New(Config{ImgSize: 16}, 1)
+	if _, err := m.Train(nil, TrainOptions{}); err == nil {
+		t.Error("accepted empty training set")
+	}
+}
+
+func dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

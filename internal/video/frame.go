@@ -1,0 +1,166 @@
+// Package video provides the raw-video substrate for the dcSR
+// reproduction: planar YUV 4:2:0 and interleaved RGB frame types, BT.601
+// color conversion, bilinear/bicubic resampling, frame differencing, and a
+// deterministic procedural video generator that stands in for the paper's
+// YouTube corpus (see DESIGN.md §1 for the substitution rationale).
+package video
+
+import "fmt"
+
+// YUV is a planar YUV 4:2:0 frame (the format held in an H.264 decoder's
+// decoded picture buffer). Chroma planes are half resolution in both
+// dimensions; W and H must therefore be even.
+type YUV struct {
+	W, H    int
+	Y, U, V []uint8
+}
+
+// NewYUV allocates a black 4:2:0 frame (Y=0 is black-ish; chroma neutral).
+func NewYUV(w, h int) *YUV {
+	if w%2 != 0 || h%2 != 0 {
+		panic(fmt.Sprintf("video: YUV420 dimensions must be even, got %dx%d", w, h))
+	}
+	f := &YUV{W: w, H: h, Y: make([]uint8, w*h), U: make([]uint8, w*h/4), V: make([]uint8, w*h/4)}
+	for i := range f.U {
+		f.U[i] = 128
+		f.V[i] = 128
+	}
+	return f
+}
+
+// Clone returns a deep copy of the frame.
+func (f *YUV) Clone() *YUV {
+	c := &YUV{W: f.W, H: f.H,
+		Y: append([]uint8(nil), f.Y...),
+		U: append([]uint8(nil), f.U...),
+		V: append([]uint8(nil), f.V...)}
+	return c
+}
+
+// ChromaW returns the chroma plane width.
+func (f *YUV) ChromaW() int { return f.W / 2 }
+
+// ChromaH returns the chroma plane height.
+func (f *YUV) ChromaH() int { return f.H / 2 }
+
+// RGB is an interleaved 8-bit RGB frame (the format micro SR models accept;
+// the client converts DPB frames YUV→RGB before inference and back after,
+// per paper Fig 6).
+type RGB struct {
+	W, H int
+	Pix  []uint8 // len = W*H*3, row-major, R G B per pixel
+}
+
+// NewRGB allocates a black RGB frame.
+func NewRGB(w, h int) *RGB {
+	return &RGB{W: w, H: h, Pix: make([]uint8, w*h*3)}
+}
+
+// Clone returns a deep copy of the frame.
+func (f *RGB) Clone() *RGB {
+	return &RGB{W: f.W, H: f.H, Pix: append([]uint8(nil), f.Pix...)}
+}
+
+// At returns the pixel at (x, y).
+func (f *RGB) At(x, y int) (r, g, b uint8) {
+	i := (y*f.W + x) * 3
+	return f.Pix[i], f.Pix[i+1], f.Pix[i+2]
+}
+
+// Set writes the pixel at (x, y).
+func (f *RGB) Set(x, y int, r, g, b uint8) {
+	i := (y*f.W + x) * 3
+	f.Pix[i], f.Pix[i+1], f.Pix[i+2] = r, g, b
+}
+
+func clamp8(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// ToRGB converts a YUV 4:2:0 frame to RGB using BT.601 full-range
+// coefficients (the conversion the dcSR client performs before SR).
+func (f *YUV) ToRGB() *RGB {
+	out := NewRGB(f.W, f.H)
+	cw := f.ChromaW()
+	for y := 0; y < f.H; y++ {
+		cy := y / 2
+		for x := 0; x < f.W; x++ {
+			Y := int32(f.Y[y*f.W+x])
+			U := int32(f.U[cy*cw+x/2]) - 128
+			V := int32(f.V[cy*cw+x/2]) - 128
+			// Fixed-point BT.601: R = Y + 1.402 V; G = Y − 0.344 U − 0.714 V; B = Y + 1.772 U
+			r := Y + (1436*V)>>10
+			g := Y - (352*U)>>10 - (731*V)>>10
+			b := Y + (1815*U)>>10
+			i := (y*f.W + x) * 3
+			out.Pix[i] = clamp8(r)
+			out.Pix[i+1] = clamp8(g)
+			out.Pix[i+2] = clamp8(b)
+		}
+	}
+	return out
+}
+
+// ToYUV converts an RGB frame to planar YUV 4:2:0 (BT.601 full range),
+// averaging each 2×2 block for the chroma planes.
+func (f *RGB) ToYUV() *YUV {
+	w, h := f.W, f.H
+	if w%2 != 0 || h%2 != 0 {
+		panic(fmt.Sprintf("video: ToYUV requires even dimensions, got %dx%d", w, h))
+	}
+	out := NewYUV(w, h)
+	cw := w / 2
+	// Luma.
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := (y*w + x) * 3
+			r, g, b := int32(f.Pix[i]), int32(f.Pix[i+1]), int32(f.Pix[i+2])
+			Y := (306*r + 601*g + 117*b) >> 10
+			out.Y[y*w+x] = clamp8(Y)
+		}
+	}
+	// Chroma, subsampled 2×2.
+	for cy := 0; cy < h/2; cy++ {
+		for cx := 0; cx < w/2; cx++ {
+			var ur, ug, ub int32
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					i := ((cy*2+dy)*w + cx*2 + dx) * 3
+					ur += int32(f.Pix[i])
+					ug += int32(f.Pix[i+1])
+					ub += int32(f.Pix[i+2])
+				}
+			}
+			ur, ug, ub = ur/4, ug/4, ub/4
+			U := ((-173*ur - 339*ug + 512*ub) >> 10) + 128
+			V := ((512*ur - 429*ug - 83*ub) >> 10) + 128
+			out.U[cy*cw+cx] = clamp8(U)
+			out.V[cy*cw+cx] = clamp8(V)
+		}
+	}
+	return out
+}
+
+// MeanAbsDiff returns the mean absolute luma difference between two frames
+// of identical dimensions. It is the signal the shot-based splitter
+// thresholds to detect scene changes (paper §3.1.1).
+func MeanAbsDiff(a, b *YUV) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("video: MeanAbsDiff dimension mismatch")
+	}
+	var sum int64
+	for i, v := range a.Y {
+		d := int64(v) - int64(b.Y[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return float64(sum) / float64(len(a.Y))
+}
