@@ -8,9 +8,16 @@
 //	dcsr-bench -only fig8,fig10
 //	dcsr-bench -fast           # trained experiments at reduced budgets
 //	dcsr-bench -list
+//	dcsr-bench -fast -json out.json   # machine-readable run report
+//
+// With -json, a report is written containing every experiment's name
+// and wall time plus a snapshot of the pipeline metrics the run
+// recorded (prepare/train counters, cache hit/miss, codec enhance
+// latency — see the obs package doc for the stable names).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,8 +26,23 @@ import (
 
 	"dcsr/internal/device"
 	"dcsr/internal/experiments"
+	"dcsr/internal/obs"
 	"dcsr/internal/video"
 )
+
+// jsonReport is the -json output document.
+type jsonReport struct {
+	Fast        bool             `json:"fast"`
+	Only        string           `json:"only,omitempty"`
+	Experiments []jsonExperiment `json:"experiments"`
+	Metrics     obs.Snapshot     `json:"metrics"`
+}
+
+type jsonExperiment struct {
+	Name    string  `json:"name"`
+	Desc    string  `json:"desc"`
+	Seconds float64 `json:"seconds"`
+}
 
 type experiment struct {
 	name string
@@ -32,9 +54,11 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment names (see -list)")
 	fast := flag.Bool("fast", false, "reduced training budgets for the trained experiments")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.String("json", "", "write a JSON run report (experiments + metrics snapshot) to this file, or - for stdout (tables move to stderr)")
 	flag.Parse()
 
 	cfg := experiments.DefaultEvalConfig()
+	cfg.Obs = obs.New()
 	if *fast {
 		cfg.MicroSteps = 150
 		cfg.BigSteps = 250
@@ -148,6 +172,14 @@ func main() {
 			selected[strings.TrimSpace(n)] = true
 		}
 	}
+	// With -json -, the report owns stdout; divert the human-readable
+	// tables to stderr so the JSON stream stays parseable.
+	reportW := os.Stdout
+	if *jsonOut == "-" {
+		os.Stdout = os.Stderr
+		defer func() { os.Stdout = reportW }()
+	}
+	report := jsonReport{Fast: *fast, Only: *only}
 	for _, e := range exps {
 		if len(selected) > 0 && !selected[e.name] {
 			continue
@@ -155,6 +187,25 @@ func main() {
 		start := time.Now()
 		fmt.Printf("--- %s: %s ---\n", e.name, e.desc)
 		e.run(cfg)
-		fmt.Printf("(%s finished in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("(%s finished in %v)\n\n", e.name, elapsed.Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, jsonExperiment{
+			Name: e.name, Desc: e.desc, Seconds: elapsed.Seconds(),
+		})
+	}
+	if *jsonOut != "" {
+		report.Metrics = cfg.Obs.Metrics.Snapshot()
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcsr-bench: encoding report: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			reportW.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dcsr-bench: writing report: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -7,17 +7,25 @@
 //
 //	dcsr-serve -in /tmp/video1 -listen 127.0.0.1:8090
 //	dcsr-serve -genre sports -listen 127.0.0.1:8090   # prepare in-process
+//	dcsr-serve -genre news -obs-addr 127.0.0.1:9090   # + debug sidecar
+//
+// With -obs-addr set, a debug HTTP sidecar serves /metrics (text, or
+// ?format=json), /debug/trace (last Prepare/Play span trees as JSON)
+// and the standard /debug/pprof endpoints; structured logs go to
+// stderr. Without it (the default) behaviour and output are unchanged.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 
 	"dcsr/internal/core"
 	"dcsr/internal/edsr"
+	"dcsr/internal/obs"
 	"dcsr/internal/splitter"
 	"dcsr/internal/transport"
 	"dcsr/internal/vae"
@@ -33,7 +41,24 @@ func main() {
 	seed := flag.Int64("seed", 7, "seed for -genre mode")
 	qp := flag.Int("qp", 51, "encoder QP for -genre mode")
 	steps := flag.Int("steps", 300, "training steps for -genre mode")
+	obsAddr := flag.String("obs-addr", "", "debug HTTP sidecar address for /metrics, /debug/trace and pprof (off when empty)")
 	flag.Parse()
+
+	// Observability is always collected (it is nearly free) but only
+	// exposed — and logged — when the sidecar is enabled.
+	o := obs.New()
+	if *obsAddr != "" {
+		o.Log = obs.NewLogger(os.Stderr, obs.LevelInfo)
+	}
+	// Pre-register the stable metric surface so /metrics always lists
+	// the core series, even before any traffic or playback.
+	for _, name := range []string{
+		"transport_requests_total", "transport_bytes_in_total",
+		"transport_bytes_out_total", "transport_not_found_total",
+		"cache_hits_total", "cache_misses_total",
+	} {
+		o.Counter(name)
+	}
 
 	var prep *core.Prepared
 	var err error
@@ -64,6 +89,7 @@ func main() {
 			MicroConfig: edsr.Config{Filters: 8, ResBlocks: 2},
 			Train:       edsr.TrainOptions{Steps: *steps, BatchSize: 2, PatchSize: 16},
 			Seed:        *seed,
+			Obs:         o,
 		})
 	default:
 		fmt.Fprintln(os.Stderr, "dcsr-serve: one of -in or -genre is required")
@@ -80,6 +106,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dcsr-serve: %v\n", err)
 		os.Exit(1)
 	}
+	srv.Obs = o
+	srv.Log = o.Log
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dcsr-serve: %v\n", err)
@@ -87,6 +115,19 @@ func main() {
 	}
 	fmt.Printf("serving %d segments + %d micro models on %s (ctrl-c to stop)\n",
 		len(prep.Segments), len(prep.Models), ln.Addr())
+	if *obsAddr != "" {
+		obsLn, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcsr-serve: obs sidecar: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("obs sidecar on http://%s (/metrics /debug/trace /debug/pprof/)\n", obsLn.Addr())
+		go func() {
+			if err := http.Serve(obsLn, o.Handler()); err != nil {
+				o.Log.Error("obs sidecar stopped", "err", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

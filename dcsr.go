@@ -34,12 +34,15 @@
 package dcsr
 
 import (
+	"io"
+
 	"dcsr/internal/baseline"
 	"dcsr/internal/cluster"
 	"dcsr/internal/codec"
 	"dcsr/internal/core"
 	"dcsr/internal/device"
 	"dcsr/internal/edsr"
+	"dcsr/internal/obs"
 	"dcsr/internal/quality"
 	"dcsr/internal/splitter"
 	"dcsr/internal/stream"
@@ -235,3 +238,41 @@ func SplitVideo(frames []*YUV, cfg SplitConfig) []Segment { return splitter.Spli
 // NewSession starts a download session over a manifest; useCache enables
 // the paper's Algorithm 1 micro-model caching.
 func NewSession(m *Manifest, useCache bool) (*Session, error) { return stream.NewSession(m, useCache) }
+
+// Observability. An Obs bundle threads metrics, stage tracing and
+// logging through ServerConfig.Obs, Player.Obs and the transport; all
+// handles are nil-safe, so the zero value (nil) disables everything at
+// no cost. The metric names are a stable surface — see the obs package
+// doc and the Observability sections of README.md / DESIGN.md.
+type (
+	// Obs bundles a metrics registry, a span tracer and a logger.
+	Obs = obs.Obs
+	// MetricsRegistry holds named counters, gauges and histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of every metric.
+	MetricsSnapshot = obs.Snapshot
+	// Tracer records bounded trees of pipeline stage spans.
+	Tracer = obs.Tracer
+	// Span is one timed stage; children nest concurrently-safe.
+	Span = obs.Span
+	// Logger is a leveled logfmt-style structured logger.
+	Logger = obs.Logger
+	// LogLevel orders Debug < Info < Warn < Error.
+	LogLevel = obs.Level
+)
+
+// Log levels for NewLogger.
+const (
+	LevelDebug = obs.LevelDebug
+	LevelInfo  = obs.LevelInfo
+	LevelWarn  = obs.LevelWarn
+	LevelError = obs.LevelError
+)
+
+// NewObs returns a live observability bundle (metrics + tracer, no
+// logger). Assign a Logger to its Log field to enable logging.
+func NewObs() *Obs { return obs.New() }
+
+// NewLogger returns a structured logger writing lines at or above min
+// to w. A nil *Logger is a valid no-op logger.
+func NewLogger(w io.Writer, min LogLevel) *Logger { return obs.NewLogger(w, min) }

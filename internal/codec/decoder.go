@@ -2,7 +2,9 @@ package codec
 
 import (
 	"fmt"
+	"time"
 
+	"dcsr/internal/obs"
 	"dcsr/internal/video"
 )
 
@@ -134,6 +136,10 @@ type Decoder struct {
 	Enhancer FrameEnhancer
 	Mode     Propagation
 	Stats    DecodeStats
+	// Obs, when set, records codec_frames_decoded_total,
+	// codec_iframes_enhanced_total and the I-frame-enhance latency
+	// histogram codec_enhance_seconds.
+	Obs *obs.Obs
 }
 
 // Decode reconstructs all frames of s in display order.
@@ -141,6 +147,11 @@ func (d *Decoder) Decode(s *Stream) ([]*video.YUV, error) {
 	if s.W%mbSize != 0 || s.H%mbSize != 0 {
 		return nil, fmt.Errorf("codec: stream dimensions %dx%d invalid", s.W, s.H)
 	}
+	// Resolve metric handles once per decode; all are nil (no-op) when
+	// Obs is unset, so the per-frame path stays branch-cheap.
+	enhHist := d.Obs.Histogram("codec_enhance_seconds")
+	enhCtr := d.Obs.Counter("codec_iframes_enhanced_total")
+	frameCtr := d.Obs.Counter("codec_frames_decoded_total")
 	out := make([]*video.YUV, frameSpan(s))
 	var prevAnchor, lastAnchor *refPair
 	for i := range s.Frames {
@@ -161,7 +172,15 @@ func (d *Decoder) Decode(s *Stream) ([]*video.YUV, error) {
 			d.Stats.IFrames++
 			enh := f
 			if d.Enhancer != nil {
+				var t0 time.Time
+				if enhHist != nil {
+					t0 = time.Now()
+				}
 				enh = d.Enhancer.EnhanceIFrame(ef.Display, f)
+				if enhHist != nil {
+					enhHist.Observe(time.Since(t0).Seconds())
+				}
+				enhCtr.Inc()
 				if enh.W != f.W || enh.H != f.H {
 					return nil, fmt.Errorf("codec: enhancer changed frame dimensions %dx%d -> %dx%d", f.W, f.H, enh.W, enh.H)
 				}
@@ -210,6 +229,7 @@ func (d *Decoder) Decode(s *Stream) ([]*video.YUV, error) {
 			return nil, fmt.Errorf("codec: display slot %d never decoded", i)
 		}
 	}
+	frameCtr.Add(int64(len(s.Frames)))
 	return out, nil
 }
 

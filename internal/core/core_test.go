@@ -147,6 +147,35 @@ func TestModelCachingSavesBytes(t *testing.T) {
 	if r1.Session.CacheHits == 0 && len(p.Segments) > p.K {
 		t.Error("expected cache hits with recurring scenes")
 	}
+	// The public PlayResult cache accounting must mirror the session's.
+	for _, r := range []*PlayResult{r1, r2} {
+		if r.CacheHits != r.Session.CacheHits {
+			t.Errorf("PlayResult.CacheHits = %d, session has %d", r.CacheHits, r.Session.CacheHits)
+		}
+		if r.CacheMisses != r.Session.CacheMisses {
+			t.Errorf("PlayResult.CacheMisses = %d, session has %d", r.CacheMisses, r.Session.CacheMisses)
+		}
+		if r.ModelBytes != r.Session.ModelBytes {
+			t.Errorf("PlayResult.ModelBytes = %d, session has %d", r.ModelBytes, r.Session.ModelBytes)
+		}
+		if r.CacheMisses != r.Session.Downloads {
+			t.Errorf("CacheMisses = %d but Downloads = %d", r.CacheMisses, r.Session.Downloads)
+		}
+	}
+	// Without caching every model-bearing segment is a miss; with
+	// caching hits+misses still covers exactly those segments.
+	modelSegs := 0
+	for _, s := range p.Manifest.Segments {
+		if s.ModelLabel >= 0 {
+			modelSegs++
+		}
+	}
+	if got := r1.CacheHits + r1.CacheMisses; got != modelSegs {
+		t.Errorf("hits+misses = %d, want %d model-bearing segments", got, modelSegs)
+	}
+	if r2.CacheHits != 0 || r2.CacheMisses != modelSegs {
+		t.Errorf("uncached run: hits=%d misses=%d, want 0/%d", r2.CacheHits, r2.CacheMisses, modelSegs)
+	}
 }
 
 func TestPrepareRejectsTinyInput(t *testing.T) {

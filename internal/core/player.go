@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dcsr/internal/codec"
+	"dcsr/internal/obs"
 	"dcsr/internal/stream"
 	"dcsr/internal/video"
 )
@@ -17,6 +18,14 @@ type PlayResult struct {
 	Session *stream.Session
 	// Decode holds decoder statistics including enhancement count.
 	Decode codec.DecodeStats
+
+	// CacheHits and CacheMisses summarize micro-model cache behaviour
+	// (Algorithm 1): hits reused a cached model, misses downloaded one.
+	// They cover exactly the segments that reference a model.
+	CacheHits   int
+	CacheMisses int
+	// ModelBytes is the total micro-model download volume.
+	ModelBytes int
 }
 
 // TotalBytes returns the bytes a real client would have downloaded.
@@ -37,6 +46,10 @@ type Player struct {
 	// is codec.PropagateDelta (drift-free). codec.PropagateReplace is the
 	// paper-literal DPB replacement, kept for the propagation ablation.
 	Propagation codec.Propagation
+	// Obs receives playback metrics (cache hit/miss/bytes counters, the
+	// decoder's enhance-latency histogram) and a play span tree with one
+	// segment_fetch child per segment; nil disables instrumentation.
+	Obs *obs.Obs
 }
 
 // NewPlayer builds a player over a prepared stream.
@@ -58,13 +71,23 @@ func (pl *Player) segmentOf(display int) int {
 // model caching, then decoding with in-loop I-frame enhancement.
 func (pl *Player) Play() (*PlayResult, error) {
 	p := pl.prepared
+	o := pl.Obs
+	root := o.Start("play")
+	defer root.End()
 	sess, err := stream.NewSession(p.Manifest, pl.UseCache)
 	if err != nil {
 		return nil, err
 	}
+	sessSpan := root.Child("session")
+	sess.Obs = o
+	sess.Trace = sessSpan
 	sess.Run()
+	sessSpan.Set("video_bytes", sess.VideoBytes)
+	sessSpan.Set("model_bytes", sess.ModelBytes)
+	sessSpan.End()
 
-	dec := codec.Decoder{Mode: pl.Propagation}
+	decSpan := root.Child("decode")
+	dec := codec.Decoder{Mode: pl.Propagation, Obs: o}
 	if pl.Enhance {
 		dec.Enhancer = codec.EnhancerFunc(func(display int, f *video.YUV) *video.YUV {
 			seg := pl.segmentOf(display)
@@ -77,8 +100,18 @@ func (pl *Player) Play() (*PlayResult, error) {
 		})
 	}
 	frames, err := dec.Decode(p.Stream)
+	decSpan.Set("frames", dec.Stats.Frames())
+	decSpan.Set("enhanced", dec.Stats.Enhanced)
+	decSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: playback decode: %w", err)
 	}
-	return &PlayResult{Frames: frames, Session: sess, Decode: dec.Stats}, nil
+	o.Logger().Info("play: session complete",
+		"segments", len(p.Manifest.Segments), "cache_hits", sess.CacheHits,
+		"cache_misses", sess.CacheMisses, "bytes", sess.TotalBytes())
+	return &PlayResult{
+		Frames: frames, Session: sess, Decode: dec.Stats,
+		CacheHits: sess.CacheHits, CacheMisses: sess.CacheMisses,
+		ModelBytes: sess.ModelBytes,
+	}, nil
 }

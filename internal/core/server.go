@@ -17,6 +17,7 @@ import (
 	"dcsr/internal/codec"
 	"dcsr/internal/edsr"
 	"dcsr/internal/nn"
+	"dcsr/internal/obs"
 	"dcsr/internal/splitter"
 	"dcsr/internal/stream"
 	"dcsr/internal/vae"
@@ -63,6 +64,11 @@ type ServerConfig struct {
 	Train edsr.TrainOptions
 
 	Seed int64
+
+	// Obs receives pipeline metrics, a per-stage span tree and stage
+	// logs; nil (the default) disables all instrumentation at zero
+	// cost. See the obs package doc for the stable metric names.
+	Obs *obs.Obs
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -121,23 +127,40 @@ func Prepare(frames []*video.YUV, fps int, cfg ServerConfig) (*Prepared, error) 
 	if len(frames) < 2 {
 		return nil, fmt.Errorf("core: need at least 2 frames, got %d", len(frames))
 	}
+	o := cfg.Obs
+	o.Counter("prepare_runs_total").Inc()
+	root := o.Start("prepare")
+	root.Set("frames", len(frames))
+	defer root.End()
+	log := o.Logger()
 
 	// 1. Variable-length shot-based split; every segment starts with an I
 	// frame (paper §3.1.1).
+	sp := root.Child("split")
 	segs := splitter.Split(frames, cfg.Split)
+	sp.Set("segments", len(segs))
+	sp.End()
+	o.Counter("prepare_segments_total").Add(int64(len(segs)))
+	log.Debug("prepare: split", "segments", len(segs))
+
+	sp = root.Child("encode")
 	forceI := splitter.ForceIFlags(len(frames), segs)
 	st, err := codec.Encode(frames, forceI, fps, codec.EncoderConfig{
 		QP: cfg.QP, GOPSize: cfg.GOPSize, BFrames: cfg.BFrames,
 		HalfPel: cfg.HalfPel, Deblock: cfg.Deblock,
 	})
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: encoding low-quality stream: %w", err)
 	}
+	sp.Set("stream_bytes", st.Bytes())
 
 	// 2. Decode our own stream to obtain the client-visible low-quality
 	// I frames (training inputs must match what the client will enhance).
-	var dec codec.Decoder
+	sp = root.Child("decode_low")
+	dec := codec.Decoder{Obs: o}
 	lowFrames, err := dec.Decode(st)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: decoding own stream: %w", err)
 	}
@@ -148,22 +171,29 @@ func Prepare(frames []*video.YUV, fps int, cfg ServerConfig) (*Prepared, error) 
 	}
 
 	// 3. VAE feature extraction from the I frames (paper §3.1.1, Fig 3).
+	sp = root.Child("vae_features")
 	vm, err := vae.New(cfg.VAE, cfg.Seed+1)
 	if err != nil {
+		sp.End()
 		return nil, err
 	}
 	if _, err := vm.Train(p.OrigIFrames, cfg.VAETrain); err != nil {
+		sp.End()
 		return nil, fmt.Errorf("core: VAE training: %w", err)
 	}
 	for _, f := range p.OrigIFrames {
 		p.Features = append(p.Features, vm.Features(f))
 	}
+	sp.End()
+	log.Debug("prepare: VAE features extracted", "iframes", len(p.OrigIFrames))
 
 	// 4. Minimum working model (paper Appendix A.1), then K selection under
 	// the |M_big| / |M_min| constraint (paper Eq. 2–3).
 	micro := cfg.MicroConfig
 	if micro.Filters == 0 {
+		sp = root.Child("min_model_search")
 		micro, err = FindMinimumWorkingModel(p.LowIFrames, p.OrigIFrames, cfg)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -172,6 +202,7 @@ func Prepare(frames []*video.YUV, fps int, cfg ServerConfig) (*Prepared, error) 
 	bigBytes := modelBytes(cfg.BigModel)
 	minBytes := modelBytes(micro)
 
+	sp = root.Child("kmeans_silhouette")
 	if len(segs) < 3 {
 		// Too few segments to cluster meaningfully: single cluster.
 		p.K = 1
@@ -179,16 +210,25 @@ func Prepare(frames []*video.YUV, fps int, cfg ServerConfig) (*Prepared, error) 
 	} else {
 		res, sweeps, err := cluster.SelectK(p.Features, bigBytes, minBytes)
 		if err != nil {
+			sp.End()
 			return nil, fmt.Errorf("core: K selection: %w", err)
 		}
 		p.K = res.K
 		p.Assign = res.Assign
 		p.Sweeps = sweeps
 	}
+	sp.Set("k", p.K)
+	sp.End()
+	o.Counter("prepare_clusters_total").Add(int64(p.K))
+	log.Debug("prepare: clusters selected", "k", p.K)
 
 	// 5. Train one micro model per cluster on its I-frame pairs
 	// (paper §3.1.3). Models are independent, so they train concurrently;
 	// per-label seeds keep the result identical to sequential training.
+	trainSpan := root.Child("train_micro_models")
+	sampleCtr := o.Counter("train_samples_total")
+	stepCtr := o.Counter("train_steps_total")
+	flopCtr := o.Counter("train_flops_total")
 	p.Models = make(map[int]*SegmentModel)
 	type trained struct {
 		label int
@@ -217,8 +257,13 @@ func Prepare(frames []*video.YUV, fps int, cfg ServerConfig) (*Prepared, error) 
 					results <- trained{label: label}
 					continue
 				}
+				cs := trainSpan.Child("train_cluster")
+				cs.Set("label", label)
+				cs.Set("samples", len(pairs))
+				sampleCtr.Add(int64(len(pairs)))
 				m, err := edsr.New(micro, cfg.Seed+100+int64(label))
 				if err != nil {
+					cs.End()
 					results <- trained{label: label, err: err}
 					continue
 				}
@@ -226,9 +271,14 @@ func Prepare(frames []*video.YUV, fps int, cfg ServerConfig) (*Prepared, error) 
 				opts.Seed = cfg.Seed + 200 + int64(label)
 				tr, err := m.Train(pairs, opts)
 				if err != nil {
+					cs.End()
 					results <- trained{label: label, err: fmt.Errorf("core: training micro model %d: %w", label, err)}
 					continue
 				}
+				cs.Set("steps", tr.Steps)
+				cs.End()
+				stepCtr.Add(int64(tr.Steps))
+				flopCtr.Add(int64(tr.TrainFLOPs))
 				results <- trained{label: label, sm: &SegmentModel{
 					Label: label, Config: micro, Model: m,
 					Bytes: nn.EncodeWeights(m.Params()), Train: tr,
@@ -242,6 +292,7 @@ func Prepare(frames []*video.YUV, fps int, cfg ServerConfig) (*Prepared, error) 
 	close(labels)
 	wg.Wait()
 	close(results)
+	trainSpan.End()
 	for r := range results {
 		if r.err != nil {
 			return nil, r.err
@@ -253,7 +304,12 @@ func Prepare(frames []*video.YUV, fps int, cfg ServerConfig) (*Prepared, error) 
 	}
 
 	// 6. Manifest with byte-accurate segment and model sizes.
+	sp = root.Child("manifest")
 	p.Manifest = buildManifest(p)
+	sp.End()
+	log.Info("prepare: pipeline complete",
+		"segments", len(segs), "k", p.K, "models", len(p.Models),
+		"stream_bytes", st.Bytes(), "train_flops", p.TrainFLOPs)
 	return p, nil
 }
 

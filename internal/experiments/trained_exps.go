@@ -8,6 +8,7 @@ import (
 	"dcsr/internal/baseline"
 	"dcsr/internal/core"
 	"dcsr/internal/edsr"
+	"dcsr/internal/obs"
 	"dcsr/internal/quality"
 	"dcsr/internal/splitter"
 	"dcsr/internal/vae"
@@ -28,6 +29,11 @@ type EvalConfig struct {
 	Genres                     []video.Genre
 	CueFramesMin, CueFramesMax int
 	Seed                       int64
+
+	// Obs, when set, instruments every Prepare/Play an experiment runs
+	// (dcsr-bench uses this to embed a metrics snapshot in its JSON
+	// report). Nil disables instrumentation.
+	Obs *obs.Obs
 }
 
 // DefaultEvalConfig returns the evaluation-scale settings.
@@ -56,6 +62,7 @@ func (c EvalConfig) serverConfig() core.ServerConfig {
 		MicroConfig: c.Micro,
 		Train:       edsr.TrainOptions{Steps: c.MicroSteps, BatchSize: 2, PatchSize: 16},
 		Seed:        c.Seed,
+		Obs:         c.Obs,
 	}
 }
 
@@ -108,7 +115,9 @@ func RunFig9(cfg EvalConfig) (*Fig9Result, error) {
 		vr.Segments = len(prep.Segments)
 		vr.K = prep.K
 		vr.DcSRTrainFLOPs = prep.TrainFLOPs
-		dcsrPlay, err := core.NewPlayer(prep).Play()
+		pl := core.NewPlayer(prep)
+		pl.Obs = cfg.Obs
+		dcsrPlay, err := pl.Play()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s dcSR play: %v", g, err)
 		}

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler returns the debug HTTP sidecar mux:
+//
+//	/metrics        — plain-text metric lines; ?format=json for a
+//	                  structured Snapshot
+//	/debug/trace    — JSON array of the most recent root span trees
+//	                  (?n=K limits to the last K traces)
+//	/debug/pprof/…  — the standard net/http/pprof endpoints
+//
+// The handler is safe to serve while the pipeline is running; snapshots
+// and trace exports never block metric or span recording for long.
+func (o *Obs) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := o.Metrics.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(snap.JSON())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(snap.Text()))
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		traces := o.Trace.Traces()
+		if s := r.URL.Query().Get("n"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(traces) {
+				traces = traces[len(traces)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		data, err := json.MarshalIndent(traces, "", "  ")
+		if err != nil {
+			data = []byte("[]")
+		}
+		w.Write(data)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

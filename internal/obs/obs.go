@@ -1,0 +1,83 @@
+// Package obs is the observability substrate of the dcSR system: a
+// concurrency-safe metrics registry (atomic counters, gauges, streaming
+// histograms with quantile estimates), a lightweight span tracer for
+// nested pipeline stages exportable as a JSON trace tree, and a leveled
+// structured logger — all standard-library only.
+//
+// Every handle is nil-safe: a nil *Obs, *Registry, *Tracer, *Logger,
+// *Counter, *Gauge, *Histogram or *Span turns every operation into a
+// no-op that performs zero allocations, so instrumented code paths pay
+// nothing when observability is disabled. Components therefore take a
+// plain `Obs *obs.Obs` field (or parameter) whose zero value means
+// "off"; the instrumentation call sites never branch on it.
+//
+// Stable metric surface (asserted by tests, documented in DESIGN.md):
+//
+//	prepare_runs_total, prepare_segments_total, prepare_clusters_total,
+//	train_samples_total, train_steps_total, train_flops_total,
+//	segments_fetched_total, cache_hits_total, cache_misses_total,
+//	video_bytes_total, model_bytes_total,
+//	codec_frames_decoded_total, codec_iframes_enhanced_total,
+//	codec_enhance_seconds (histogram),
+//	transport_requests_total, transport_not_found_total,
+//	transport_bytes_in_total, transport_bytes_out_total,
+//	transport_manifest_seconds, transport_segment_seconds,
+//	transport_model_seconds (histograms),
+//	transport_client_requests_total, transport_client_bytes_up_total,
+//	transport_client_bytes_down_total.
+package obs
+
+// Obs bundles the three observability facilities a component may use.
+// The zero value (and a nil pointer) disables everything.
+type Obs struct {
+	Metrics *Registry
+	Trace   *Tracer
+	Log     *Logger
+}
+
+// New returns an Obs with a fresh registry and a tracer keeping the last
+// 32 root spans. Log is left nil (no-op); set it to enable logging.
+func New() *Obs {
+	return &Obs{Metrics: NewRegistry(), Trace: NewTracer(32)}
+}
+
+// Counter returns the named counter, or nil (a no-op) when o is nil.
+func (o *Obs) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name)
+}
+
+// Gauge returns the named gauge, or nil (a no-op) when o is nil.
+func (o *Obs) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name)
+}
+
+// Histogram returns the named histogram with default bounds, or nil.
+func (o *Obs) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name)
+}
+
+// Start opens a new root span on the tracer, or returns nil when o is
+// nil (all Span operations on nil are no-ops).
+func (o *Obs) Start(name string) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Trace.Start(name)
+}
+
+// Logger returns the bundle's logger (possibly nil, which is a no-op).
+func (o *Obs) Logger() *Logger {
+	if o == nil {
+		return nil
+	}
+	return o.Log
+}

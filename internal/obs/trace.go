@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+)
+
+// Span is one timed stage of a pipeline run. Spans form a tree: child
+// spans are created with Child and may be added concurrently (per-span
+// mutex), which core.Prepare relies on for its parallel per-cluster
+// training stage. A nil *Span is a no-op for every method, so call
+// sites never branch on whether tracing is enabled.
+type Span struct {
+	mu       sync.Mutex
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+func newSpan(name string) *Span {
+	return &Span{name: name, start: time.Now()}
+}
+
+// Child opens a sub-span. Safe to call from multiple goroutines.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Set attaches an attribute (last write for a key wins on export).
+func (s *Span) Set(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End marks the span finished; the first call wins.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Duration returns the span's wall time (time-to-now if still open).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// SpanJSON is the exportable snapshot of a span subtree.
+type SpanJSON struct {
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	InFlight   bool           `json:"in_flight,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanJSON     `json:"children,omitempty"`
+}
+
+// Export snapshots the span and its descendants into a JSON-ready tree.
+func (s *Span) Export() SpanJSON {
+	if s == nil {
+		return SpanJSON{}
+	}
+	s.mu.Lock()
+	out := SpanJSON{Name: s.name, Start: s.start}
+	if s.end.IsZero() {
+		out.InFlight = true
+		out.DurationMS = float64(time.Since(s.start)) / float64(time.Millisecond)
+	} else {
+		out.DurationMS = float64(s.end.Sub(s.start)) / float64(time.Millisecond)
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.Export())
+	}
+	return out
+}
+
+// Tracer retains the most recent root spans (a bounded ring) so an
+// operator can inspect the last few Prepare/Play runs via /debug/trace.
+// A nil *Tracer returns nil spans from Start.
+type Tracer struct {
+	mu    sync.Mutex
+	keep  int
+	roots []*Span
+}
+
+// NewTracer returns a tracer retaining the last keep root spans
+// (keep <= 0 means 16).
+func NewTracer(keep int) *Tracer {
+	if keep <= 0 {
+		keep = 16
+	}
+	return &Tracer{keep: keep}
+}
+
+// Start opens and retains a new root span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := newSpan(name)
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	if len(t.roots) > t.keep {
+		t.roots = append(t.roots[:0], t.roots[len(t.roots)-t.keep:]...)
+	}
+	t.mu.Unlock()
+	return s
+}
+
+// Traces exports the retained root spans, oldest first.
+func (t *Tracer) Traces() []SpanJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := make([]*Span, len(t.roots))
+	copy(roots, t.roots)
+	t.mu.Unlock()
+	out := make([]SpanJSON, 0, len(roots))
+	for _, s := range roots {
+		out = append(out, s.Export())
+	}
+	return out
+}
+
+// TracesJSON renders Traces as indented JSON.
+func (t *Tracer) TracesJSON() []byte {
+	data, err := json.MarshalIndent(t.Traces(), "", "  ")
+	if err != nil {
+		return []byte("[]")
+	}
+	return data
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.Start("prepare")
+	enc := root.Child("encode")
+	enc.Set("bytes", 1234)
+	time.Sleep(time.Millisecond)
+	enc.End()
+	train := root.Child("train")
+	c0 := train.Child("train_cluster")
+	c0.Set("label", 0)
+	c0.End()
+	train.End()
+	root.End()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Name != "prepare" || len(got.Children) != 2 {
+		t.Fatalf("root = %+v", got)
+	}
+	if got.Children[0].Name != "encode" {
+		t.Errorf("encode child = %+v", got.Children[0])
+	}
+	if v, ok := got.Children[0].Attrs["bytes"].(int); !ok || v != 1234 {
+		t.Errorf("encode attrs = %+v", got.Children[0].Attrs)
+	}
+	if got.Children[0].DurationMS <= 0 {
+		t.Errorf("encode duration = %v, want > 0", got.Children[0].DurationMS)
+	}
+	if got.Children[1].Children[0].Name != "train_cluster" {
+		t.Errorf("nested child = %+v", got.Children[1])
+	}
+	if got.InFlight {
+		t.Error("ended root reported in flight")
+	}
+	// The tree must be JSON-marshalable for /debug/trace.
+	if _, err := json.Marshal(traces); err != nil {
+		t.Fatalf("marshal traces: %v", err)
+	}
+}
+
+func TestTracerRingRetention(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 10; i++ {
+		tr.Start("run").End()
+	}
+	if got := len(tr.Traces()); got != 3 {
+		t.Errorf("retained %d traces, want 3", got)
+	}
+}
+
+// TestSpanConcurrentChildren mirrors core.Prepare's concurrent
+// per-cluster training: many goroutines attach children and attributes
+// to one parent span while another goroutine exports the tree. Run
+// under `go test -race ./internal/obs/...`.
+func TestSpanConcurrentChildren(t *testing.T) {
+	tr := NewTracer(2)
+	root := tr.Start("prepare")
+	train := root.Child("train")
+	const workers = 8
+	const perW = 50
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() { // concurrent reader
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Traces()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				c := train.Child("train_cluster")
+				c.Set("label", w*perW+i)
+				c.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	train.End()
+	root.End()
+	got := train.Export()
+	if len(got.Children) != workers*perW {
+		t.Errorf("children = %d, want %d", len(got.Children), workers*perW)
+	}
+}
+
+func TestNilSpanAndTracer(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x")
+	if sp != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	// All no-ops:
+	sp.Set("k", 1)
+	sp.Child("c").End()
+	sp.End()
+	if d := sp.Duration(); d != 0 {
+		t.Errorf("nil span duration = %v", d)
+	}
+	if tr.Traces() != nil {
+		t.Error("nil tracer returned traces")
+	}
+}

@@ -8,6 +8,8 @@ package stream
 import (
 	"fmt"
 	"sort"
+
+	"dcsr/internal/obs"
 )
 
 // SegmentInfo describes one video segment in a manifest.
@@ -93,11 +95,23 @@ type Session struct {
 	cache    map[int]bool
 	useCache bool
 
+	// Obs receives cache hit/miss and byte counters
+	// (segments_fetched_total, cache_hits_total, cache_misses_total,
+	// video_bytes_total, model_bytes_total); nil disables them.
+	Obs *obs.Obs
+	// Trace, when set, receives one "segment_fetch" child span per Step
+	// (the rows of paper Fig 7 as a trace).
+	Trace *obs.Span
+
 	Events     []Event
 	VideoBytes int
 	ModelBytes int
 	CacheHits  int
-	Downloads  int
+	// CacheMisses counts segments whose model had to be downloaded
+	// (equals Downloads; kept separate so hit+miss covers exactly the
+	// segments that needed a model).
+	CacheMisses int
+	Downloads   int
 }
 
 // NewSession starts a session over manifest. When useCache is false every
@@ -121,23 +135,35 @@ func (s *Session) Run() int {
 // Step processes one segment: download the segment, then fetch its model
 // if it is not cached (Algorithm 1 lines 3–6).
 func (s *Session) Step(seg SegmentInfo) Event {
+	sp := s.Trace.Child("segment_fetch")
+	sp.Set("segment", seg.Index)
 	ev := Event{Segment: seg.Index, ModelLabel: seg.ModelLabel, SegmentBytes: seg.Bytes}
 	s.VideoBytes += seg.Bytes
+	s.Obs.Counter("segments_fetched_total").Inc()
+	s.Obs.Counter("video_bytes_total").Add(int64(seg.Bytes))
 	if seg.ModelLabel >= 0 {
 		if s.useCache && s.cache[seg.ModelLabel] {
 			s.CacheHits++
+			s.Obs.Counter("cache_hits_total").Inc()
+			sp.Set("cache", "hit")
 		} else {
 			mi := s.manifest.Models[seg.ModelLabel]
 			ev.ModelDownloaded = true
 			ev.ModelBytes = mi.Bytes
 			s.ModelBytes += mi.Bytes
 			s.Downloads++
+			s.CacheMisses++
+			s.Obs.Counter("cache_misses_total").Inc()
+			s.Obs.Counter("model_bytes_total").Add(int64(mi.Bytes))
+			sp.Set("cache", "miss")
+			sp.Set("model_bytes", mi.Bytes)
 			if s.useCache {
 				s.cache[seg.ModelLabel] = true
 			}
 		}
 	}
 	s.Events = append(s.Events, ev)
+	sp.End()
 	return ev
 }
 

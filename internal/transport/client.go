@@ -9,6 +9,7 @@ import (
 	"dcsr/internal/codec"
 	"dcsr/internal/edsr"
 	"dcsr/internal/nn"
+	"dcsr/internal/obs"
 	"dcsr/internal/video"
 )
 
@@ -22,6 +23,14 @@ type Client struct {
 	BytesDown int
 	// BytesUp counts request bytes sent.
 	BytesUp int
+
+	// Log receives request failures and per-segment debug lines; nil
+	// (the default) discards them — previously client errors were
+	// silent.
+	Log *obs.Logger
+	// Obs records transport_client_requests_total and
+	// transport_client_bytes_up/down_total; nil disables metrics.
+	Obs *obs.Obs
 }
 
 // NewClient wraps an established connection (TCP, net.Pipe, throttled…).
@@ -38,22 +47,29 @@ func Dial(addr string) (*Client, net.Conn, error) {
 
 func (c *Client) roundTrip(op byte, arg uint32) ([]byte, error) {
 	if err := writeRequest(c.conn, op, arg); err != nil {
+		c.Log.Error("transport: client write failed", "op", opName(op), "arg", arg, "err", err)
 		return nil, err
 	}
-	c.BytesUp += 9
+	c.BytesUp += reqFrameBytes
+	c.Obs.Counter("transport_client_requests_total").Inc()
+	c.Obs.Counter("transport_client_bytes_up_total").Add(reqFrameBytes)
 	status, payload, err := readResponse(c.conn)
 	if err != nil {
+		c.Log.Error("transport: client read failed", "op", opName(op), "arg", arg, "err", err)
 		return nil, err
 	}
-	c.BytesDown += 5 + len(payload)
+	c.BytesDown += respFrameBytes + len(payload)
+	c.Obs.Counter("transport_client_bytes_down_total").Add(respFrameBytes + int64(len(payload)))
 	switch status {
 	case StatusOK:
 		return payload, nil
 	case StatusNotFound:
-		return nil, fmt.Errorf("transport: op %d arg %d: not found", op, arg)
+		err = fmt.Errorf("transport: op %d arg %d: not found", op, arg)
 	default:
-		return nil, fmt.Errorf("transport: op %d arg %d: status %d", op, arg, status)
+		err = fmt.Errorf("transport: op %d arg %d: status %d", op, arg, status)
 	}
+	c.Log.Warn("transport: request failed", "op", opName(op), "arg", arg, "status", status)
+	return nil, err
 }
 
 // Manifest fetches and parses the stream manifest.
@@ -106,6 +122,8 @@ type PlayStats struct {
 // model patched into the decoder's I-frame hook, and append the frames.
 // With enhance=false it plays the raw low-quality stream.
 func (c *Client) Play(enhance bool) ([]*video.YUV, *PlayStats, error) {
+	root := c.Obs.Start("client_play")
+	defer root.End()
 	wm, err := c.Manifest()
 	if err != nil {
 		return nil, nil, err
@@ -114,29 +132,44 @@ func (c *Client) Play(enhance bool) ([]*video.YUV, *PlayStats, error) {
 	cache := make(map[int]*edsr.Model)
 	var out []*video.YUV
 	for _, seg := range wm.Segments {
+		sp := root.Child("segment_fetch")
+		sp.Set("segment", seg.Index)
 		sub, err := c.Segment(seg.Index)
 		if err != nil {
+			sp.End()
 			return nil, nil, fmt.Errorf("transport: segment %d: %w", seg.Index, err)
 		}
 		stats.Segments++
 		stats.VideoBytes += seg.Bytes
+		c.Obs.Counter("segments_fetched_total").Inc()
+		c.Obs.Counter("video_bytes_total").Add(int64(seg.Bytes))
 		var model *edsr.Model
 		if enhance && seg.ModelLabel >= 0 {
 			if m, ok := cache[seg.ModelLabel]; ok {
 				model = m
 				stats.CacheHits++
+				c.Obs.Counter("cache_hits_total").Inc()
+				sp.Set("cache", "hit")
 			} else {
 				m, n, err := c.Model(seg.ModelLabel, wm.MicroConfig)
 				if err != nil {
+					sp.End()
 					return nil, nil, err
 				}
 				cache[seg.ModelLabel] = m
 				model = m
 				stats.ModelDownloads++
 				stats.ModelBytes += n
+				c.Obs.Counter("cache_misses_total").Inc()
+				c.Obs.Counter("model_bytes_total").Add(int64(n))
+				sp.Set("cache", "miss")
+				sp.Set("model_bytes", n)
 			}
 		}
-		dec := codec.Decoder{Mode: codec.PropagateDelta}
+		sp.End()
+		c.Log.Debug("transport: segment fetched", "segment", seg.Index,
+			"bytes", seg.Bytes, "model", seg.ModelLabel)
+		dec := codec.Decoder{Mode: codec.PropagateDelta, Obs: c.Obs}
 		if model != nil {
 			m := model
 			dec.Enhancer = codec.EnhancerFunc(func(_ int, f *video.YUV) *video.YUV {

@@ -38,6 +38,12 @@ const (
 // length prefix cannot make the client allocate unbounded memory.
 const maxPayload = 64 << 20
 
+// Framing sizes, used by both sides for byte accounting.
+const (
+	reqFrameBytes  = 9 // magic(4) + opcode(1) + arg(4)
+	respFrameBytes = 5 // status(1) + length(4)
+)
+
 var protoMagic = [4]byte{'d', 'c', 'T', '1'}
 
 // WireManifest is the JSON document served for OpManifest: the byte-level

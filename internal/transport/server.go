@@ -4,11 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"sync"
+	"time"
 
 	"dcsr/internal/core"
+	"dcsr/internal/obs"
 )
 
 // Server serves one prepared dcSR stream to any number of concurrent
@@ -19,8 +20,14 @@ type Server struct {
 	segments [][]byte
 	models   map[uint32][]byte
 
-	// ErrorLog receives per-connection errors; nil discards them.
-	ErrorLog *log.Logger
+	// Log receives per-connection errors and debug lines; nil discards
+	// them (the no-op default).
+	Log *obs.Logger
+	// Obs records transport_requests_total, transport_not_found_total,
+	// transport_bytes_in/out_total, the per-message-type latency
+	// histograms transport_{manifest,segment,model}_seconds, and the
+	// transport_open_conns gauge; nil disables metrics.
+	Obs *obs.Obs
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -81,6 +88,8 @@ func (s *Server) Serve(l net.Listener) error {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.Obs.Gauge("transport_open_conns").Add(1)
+		s.Log.Debug("transport: conn accepted", "remote", conn.RemoteAddr())
 		go func() {
 			defer s.wg.Done()
 			defer func() {
@@ -88,9 +97,10 @@ func (s *Server) Serve(l net.Listener) error {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 				conn.Close()
+				s.Obs.Gauge("transport_open_conns").Add(-1)
 			}()
 			if err := s.ServeConn(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.logf("transport: conn %v: %v", conn.RemoteAddr(), err)
+				s.Log.Error("transport: conn failed", "remote", conn.RemoteAddr(), "err", err)
 			}
 		}()
 	}
@@ -99,33 +109,71 @@ func (s *Server) Serve(l net.Listener) error {
 // ServeConn answers requests on a single connection until it closes. It is
 // exported so tests and in-process clients can use net.Pipe.
 func (s *Server) ServeConn(conn io.ReadWriter) error {
+	reqCtr := s.Obs.Counter("transport_requests_total")
+	nfCtr := s.Obs.Counter("transport_not_found_total")
+	inCtr := s.Obs.Counter("transport_bytes_in_total")
+	outCtr := s.Obs.Counter("transport_bytes_out_total")
 	for {
 		op, arg, err := readRequest(conn)
 		if err != nil {
 			return err
 		}
+		reqCtr.Inc()
+		inCtr.Add(reqFrameBytes)
+		var t0 time.Time
+		if s.Obs != nil {
+			t0 = time.Now()
+		}
+		var payload []byte
+		status := byte(StatusOK)
 		switch op {
 		case OpManifest:
-			err = writeResponse(conn, StatusOK, s.manifest)
+			payload = s.manifest
 		case OpSegment:
 			if int(arg) >= len(s.segments) {
-				err = writeResponse(conn, StatusNotFound, nil)
+				status = StatusNotFound
 			} else {
-				err = writeResponse(conn, StatusOK, s.segments[arg])
+				payload = s.segments[arg]
 			}
 		case OpModel:
 			data, ok := s.models[arg]
 			if !ok {
-				err = writeResponse(conn, StatusNotFound, nil)
+				status = StatusNotFound
 			} else {
-				err = writeResponse(conn, StatusOK, data)
+				payload = data
 			}
 		default:
-			err = writeResponse(conn, StatusBadReq, nil)
+			status = StatusBadReq
 		}
+		if status != StatusOK {
+			payload = nil
+			if status == StatusNotFound {
+				nfCtr.Inc()
+			}
+			s.Log.Warn("transport: request rejected", "op", opName(op), "arg", arg, "status", status)
+		}
+		err = writeResponse(conn, status, payload)
 		if err != nil {
 			return err
 		}
+		outCtr.Add(respFrameBytes + int64(len(payload)))
+		if s.Obs != nil {
+			s.Obs.Histogram("transport_" + opName(op) + "_seconds").Observe(time.Since(t0).Seconds())
+		}
+	}
+}
+
+// opName maps a protocol opcode to its stable metric-name component.
+func opName(op byte) string {
+	switch op {
+	case OpManifest:
+		return "manifest"
+	case OpSegment:
+		return "segment"
+	case OpModel:
+		return "model"
+	default:
+		return "unknown"
 	}
 }
 
@@ -145,10 +193,4 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.ErrorLog != nil {
-		s.ErrorLog.Printf(format, args...)
-	}
 }
