@@ -1,0 +1,23 @@
+# Developer entry points for the dcSR reproduction. `make verify` is the
+# gate every change must pass (see README.md); the individual targets are
+# its pieces.
+
+GO ?= go
+
+.PHONY: verify build vet test bench
+
+verify: build vet
+	$(GO) test -race ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full evaluation-scale benchmark suite (minutes).
+bench:
+	$(GO) test -bench=. -benchmem .

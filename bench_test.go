@@ -283,6 +283,28 @@ func BenchmarkABRIntegration(b *testing.B) {
 	b.ReportMetric(lead, "QoE-lead")
 }
 
+// BenchmarkFaultTolerantStreaming sweeps response drop rate against the
+// client's retry budget over an injected-fault link (not a paper figure;
+// the robustness curve behind docs/OPERATIONS.md). The headline metric is
+// the PSNR still delivered at 25% drop with a 3-retry budget.
+func BenchmarkFaultTolerantStreaming(b *testing.B) {
+	cfg := experiments.DefaultEvalConfig()
+	cfg.Genres = []video.Genre{video.GenreNews}
+	cfg.MicroSteps = 150
+	var worstCasePSNR float64
+	for i := 0; i < b.N; i++ {
+		t, res, err := experiments.ExperimentFaults(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printTable(b, "faults", t)
+		if c := res.Cell("all", 0.25, 3); c != nil && c.Completed {
+			worstCasePSNR = c.PSNR
+		}
+	}
+	b.ReportMetric(worstCasePSNR, "PSNR@drop25-retry3")
+}
+
 // BenchmarkEndToEndPrepare measures the full server pipeline on one video
 // (not a paper figure; a throughput reference for the library itself).
 func BenchmarkEndToEndPrepare(b *testing.B) {

@@ -145,6 +145,14 @@ func main() {
 			t, _ := experiments.ExperimentABR(c)
 			fmt.Println(t)
 		}},
+		{"faults", "fault-injected streaming: drop rate × retry budget", func(c experiments.EvalConfig) {
+			t, _, err := experiments.ExperimentFaults(c)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcsr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(t)
+		}},
 		{"ablations", "VAE features / global k-means / split / propagation ablations", func(c experiments.EvalConfig) {
 			t1, _ := experiments.AblationFeatures(c)
 			fmt.Println(t1)

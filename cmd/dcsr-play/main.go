@@ -8,17 +8,27 @@
 // the prepare invocation), it also reports PSNR/SSIM against the pristine
 // source and against the unenhanced LOW playback.
 //
+// With -addr it streams from a dcsr-serve origin instead, where the link
+// can be shaped (-rate), faults can be injected (-fault-drop,
+// -fault-delay, -fault-seed) and the client's fault tolerance configured
+// (-retries, -timeout); see docs/OPERATIONS.md.
+//
 // Usage:
 //
 //	dcsr-play -in /tmp/video1 -genre news -w 80 -h 48 -seed 7
+//	dcsr-play -addr :8990 -rate 65536 -fault-drop 0.2 -retries 3 -timeout 2s
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
+	"time"
 
 	"dcsr/internal/core"
+	"dcsr/internal/faultnet"
 	"dcsr/internal/quality"
 	"dcsr/internal/transport"
 	"dcsr/internal/video"
@@ -33,10 +43,19 @@ func main() {
 	h := flag.Int("h", 48, "frame height used at prepare time")
 	seed := flag.Int64("seed", 7, "seed used at prepare time")
 	noCache := flag.Bool("no-cache", false, "disable micro-model caching (ablation)")
+	faultDrop := flag.Float64("fault-drop", 0, "with -addr: probability of dropping a response (fault injection)")
+	faultDelay := flag.Duration("fault-delay", 0, "with -addr: inject this extra latency into every response")
+	faultSeed := flag.Int64("fault-seed", 1, "with -addr: fault-injection PRNG seed")
+	retries := flag.Int("retries", 0, "with -addr: retry budget per request (0 = fail fast)")
+	timeout := flag.Duration("timeout", 0, "with -addr: per-request deadline (0 = none)")
 	flag.Parse()
 
 	if *addr != "" {
-		playFromNetwork(*addr, *rate)
+		playFromNetwork(netOptions{
+			addr: *addr, rate: *rate,
+			faultDrop: *faultDrop, faultDelay: *faultDelay, faultSeed: *faultSeed,
+			retries: *retries, timeout: *timeout,
+		})
 		return
 	}
 	if *in == "" {
@@ -107,24 +126,69 @@ func main() {
 	fmt.Printf("          dcSR %.2f dB PSNR, %.4f SSIM  (%+.2f dB)\n", ePSNR/n, eSSIM/n, (ePSNR-lPSNR)/n)
 }
 
-// playFromNetwork streams from a dcsr-serve origin over TCP.
-func playFromNetwork(addr string, rate float64) {
-	client, conn, err := transport.Dial(addr)
+// netOptions parameterizes a networked playback: link shaping, fault
+// injection, and the client's fault-tolerance knobs.
+type netOptions struct {
+	addr       string
+	rate       float64
+	faultDrop  float64
+	faultDelay time.Duration
+	faultSeed  int64
+	retries    int
+	timeout    time.Duration
+}
+
+// playFromNetwork streams from a dcsr-serve origin over TCP, optionally
+// through a throttled and fault-injected link (see docs/OPERATIONS.md for
+// how the knobs interact).
+func playFromNetwork(opt netOptions) {
+	var inj *faultnet.Injector
+	if opt.faultDrop > 0 || opt.faultDelay > 0 {
+		fc := faultnet.Config{Seed: opt.faultSeed, DropRate: opt.faultDrop}
+		if opt.faultDelay > 0 {
+			// A fixed extra latency on every response.
+			fc.DelayRate = 1
+			fc.Delay = opt.faultDelay
+		}
+		inj = faultnet.New(fc)
+	}
+	dial := func() (io.ReadWriter, error) {
+		conn, err := net.Dial("tcp", opt.addr)
+		if err != nil {
+			return nil, err
+		}
+		var rw io.ReadWriter = conn
+		if opt.rate > 0 {
+			rw = transport.NewThrottledConn(rw, opt.rate)
+		}
+		if inj != nil {
+			rw = inj.Wrap(rw)
+		}
+		return rw, nil
+	}
+	conn, err := dial()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dcsr-play: %v\n", err)
 		os.Exit(1)
 	}
-	defer conn.Close()
-	if rate > 0 {
-		client = transport.NewClient(transport.NewThrottledConn(conn, rate))
+	client := transport.NewClient(conn)
+	client.Redial = dial
+	client.Retry = transport.RetryPolicy{
+		MaxRetries: opt.retries,
+		Timeout:    opt.timeout,
+		Seed:       opt.faultSeed,
 	}
 	frames, stats, err := client.Play(true)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dcsr-play: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("streamed %d frames over %d segments from %s\n", len(frames), stats.Segments, addr)
+	fmt.Printf("streamed %d frames over %d segments from %s\n", len(frames), stats.Segments, opt.addr)
 	fmt.Printf("downloaded: video %d B + models %d B (%d model downloads, %d cache hits)\n",
 		stats.VideoBytes, stats.ModelBytes, stats.ModelDownloads, stats.CacheHits)
 	fmt.Printf("%d I frames enhanced in-loop\n", stats.Enhanced)
+	if stats.DegradedSegments > 0 || client.Retries > 0 || client.Timeouts > 0 {
+		fmt.Printf("fault recovery: %d segments degraded (no SR), %d retries, %d timeouts, %d reconnects, %v stalled\n",
+			stats.DegradedSegments, client.Retries, client.Timeouts, client.Reconnects, client.StallTime)
+	}
 }

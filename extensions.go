@@ -6,6 +6,7 @@ import (
 
 	"dcsr/internal/abr"
 	"dcsr/internal/core"
+	"dcsr/internal/faultnet"
 	"dcsr/internal/nn"
 	"dcsr/internal/transport"
 )
@@ -38,6 +39,38 @@ func DialStream(addr string) (*StreamClient, net.Conn, error) { return transport
 func NewThrottledConn(conn io.ReadWriter, bytesPerSecond float64) *ThrottledConn {
 	return transport.NewThrottledConn(conn, bytesPerSecond)
 }
+
+// Fault tolerance (docs/OPERATIONS.md). Configure StreamClient.Retry
+// with a RetryPolicy (and StreamClient.Redial to enable reconnects);
+// failed model fetches degrade playback gracefully instead of killing
+// the session.
+type (
+	// RetryPolicy is the client's retry/timeout/backoff configuration.
+	RetryPolicy = transport.RetryPolicy
+	// FaultInjector injects deterministic network faults for testing.
+	FaultInjector = faultnet.Injector
+	// FaultConfig parameterizes a FaultInjector (rates, script, hook).
+	FaultConfig = faultnet.Config
+	// FaultKind enumerates the injectable fault classes.
+	FaultKind = faultnet.Kind
+)
+
+// Injectable fault classes.
+const (
+	FaultNone     = faultnet.KindNone
+	FaultDrop     = faultnet.KindDrop
+	FaultDelay    = faultnet.KindDelay
+	FaultTruncate = faultnet.KindTruncate
+	FaultError    = faultnet.KindError
+)
+
+// NewFaultInjector returns an injector whose Wrap method applies the
+// configured fault schedule to any connection.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return faultnet.New(cfg) }
+
+// IsNotFound reports whether a StreamClient error is an origin-side
+// "not found" (never retried; see docs/OPERATIONS.md).
+func IsNotFound(err error) bool { return transport.IsNotFound(err) }
 
 // Adaptive bitrate (paper §4: trading network for compute capacity).
 type (

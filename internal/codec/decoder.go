@@ -119,7 +119,7 @@ func fetchDeltaHP(src []int16, pw, ph, x, y int, m mv, bw, bh int, dst []int32) 
 // these counts to estimate latency and power.
 type DecodeStats struct {
 	IFrames, PFrames, BFrames int
-	Enhanced                  int // number of FrameEnhancer invocations
+	Enhanced                  int // I frames actually enhanced (hook may decline by returning its input)
 	Bits                      int
 }
 
@@ -177,14 +177,19 @@ func (d *Decoder) Decode(s *Stream) ([]*video.YUV, error) {
 					t0 = time.Now()
 				}
 				enh = d.Enhancer.EnhanceIFrame(ef.Display, f)
-				if enhHist != nil {
-					enhHist.Observe(time.Since(t0).Seconds())
-				}
-				enhCtr.Inc()
 				if enh.W != f.W || enh.H != f.H {
 					return nil, fmt.Errorf("codec: enhancer changed frame dimensions %dx%d -> %dx%d", f.W, f.H, enh.W, enh.H)
 				}
-				d.Stats.Enhanced++
+				// A hook that returns its input unchanged declined (no
+				// model for the segment, or it is degraded); only real
+				// enhancements count and are timed.
+				if enh != f {
+					if enhHist != nil {
+						enhHist.Observe(time.Since(t0).Seconds())
+					}
+					enhCtr.Inc()
+					d.Stats.Enhanced++
+				}
 			}
 			pair := newRefPair(f, enh)
 			if d.Mode == PropagateReplace {

@@ -26,6 +26,10 @@ type PlayResult struct {
 	CacheMisses int
 	// ModelBytes is the total micro-model download volume.
 	ModelBytes int
+	// DegradedSegments counts segments that played without SR because
+	// their model fetch failed (only non-zero when Player.FetchModel is
+	// set and returned errors; see the fault model in package stream).
+	DegradedSegments int
 }
 
 // TotalBytes returns the bytes a real client would have downloaded.
@@ -50,6 +54,12 @@ type Player struct {
 	// decoder's enhance-latency histogram) and a play span tree with one
 	// segment_fetch child per segment; nil disables instrumentation.
 	Obs *obs.Obs
+	// FetchModel, when set, stands in for the model download of each
+	// cache miss (stream.Session.Fetcher). An error degrades the
+	// affected segments — they decode without SR enhancement and are
+	// counted in PlayResult.DegradedSegments — instead of aborting
+	// playback. nil keeps the seed behaviour: every fetch succeeds.
+	FetchModel func(label int) error
 }
 
 // NewPlayer builds a player over a prepared stream.
@@ -81,16 +91,30 @@ func (pl *Player) Play() (*PlayResult, error) {
 	sessSpan := root.Child("session")
 	sess.Obs = o
 	sess.Trace = sessSpan
+	sess.Fetcher = pl.FetchModel
 	sess.Run()
 	sessSpan.Set("video_bytes", sess.VideoBytes)
 	sessSpan.Set("model_bytes", sess.ModelBytes)
 	sessSpan.End()
+
+	// Degradation is per segment, not per label: a label that failed on
+	// its first reference may have been fetched successfully on a later
+	// one, and only the segments walked while it was missing lose SR.
+	degraded := make(map[int]bool)
+	for _, ev := range sess.Events {
+		if ev.Degraded {
+			degraded[ev.Segment] = true
+		}
+	}
 
 	decSpan := root.Child("decode")
 	dec := codec.Decoder{Mode: pl.Propagation, Obs: o}
 	if pl.Enhance {
 		dec.Enhancer = codec.EnhancerFunc(func(display int, f *video.YUV) *video.YUV {
 			seg := pl.segmentOf(display)
+			if degraded[seg] {
+				return f
+			}
 			label := p.Manifest.Segments[seg].ModelLabel
 			sm, ok := p.Models[label]
 			if !ok {
@@ -108,10 +132,11 @@ func (pl *Player) Play() (*PlayResult, error) {
 	}
 	o.Logger().Info("play: session complete",
 		"segments", len(p.Manifest.Segments), "cache_hits", sess.CacheHits,
-		"cache_misses", sess.CacheMisses, "bytes", sess.TotalBytes())
+		"cache_misses", sess.CacheMisses, "degraded", sess.DegradedSegments,
+		"bytes", sess.TotalBytes())
 	return &PlayResult{
 		Frames: frames, Session: sess, Decode: dec.Stats,
 		CacheHits: sess.CacheHits, CacheMisses: sess.CacheMisses,
-		ModelBytes: sess.ModelBytes,
+		ModelBytes: sess.ModelBytes, DegradedSegments: sess.DegradedSegments,
 	}, nil
 }

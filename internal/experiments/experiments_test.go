@@ -376,3 +376,60 @@ func TestAblationPropagation(t *testing.T) {
 		t.Errorf("gated delta %.2f dB substantially below replace %.2f dB", psnrs["gated delta (default)"], psnrs["replace (paper Fig 6)"])
 	}
 }
+
+func TestExperimentFaultsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trained experiment in short mode")
+	}
+	cfg := fastEval()
+	cfg.MicroSteps = 60
+	_, res, err := ExperimentFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 18 {
+		t.Fatalf("sweep produced %d cells, want 18", len(res.Cells))
+	}
+	clean := res.Cell("all", 0, 0)
+	if clean == nil || !clean.Completed || clean.Degraded != 0 || clean.RetryCount != 0 {
+		t.Fatalf("fault-free baseline cell wrong: %+v", clean)
+	}
+	for _, c := range res.Cells {
+		if c.Scope == "all" && c.DropRate == 0 {
+			if !c.Completed || c.Degraded != 0 || c.Stall != 0 {
+				t.Errorf("zero-drop cell retries=%d degraded despite no faults: %+v", c.Retries, c)
+			}
+			continue
+		}
+		// Under faults, recovery work must be visible whenever the session
+		// survived past its first drop.
+		if c.Completed && c.Faults > 0 && c.Retries > 0 && c.RetryCount == 0 {
+			t.Errorf("cell scope=%s drop=%.2f retries=%d completed through %d drops without retrying",
+				c.Scope, c.DropRate, c.Retries, c.Faults)
+		}
+		// A completed faulty session must still deliver watchable quality:
+		// PSNR within reach of the clean baseline (degraded segments only
+		// lose the SR delta, not the video).
+		if c.Completed && c.PSNR < clean.PSNR-6 {
+			t.Errorf("cell scope=%s drop=%.2f retries=%d PSNR %.2f collapsed vs clean %.2f",
+				c.Scope, c.DropRate, c.Retries, c.PSNR, clean.PSNR)
+		}
+	}
+	// With a healthy retry budget the high-drop cell should complete.
+	if c := res.Cell("all", 0.25, 3); c == nil || !c.Completed {
+		t.Errorf("drop=0.25 retries=3 should survive, got %+v", c)
+	}
+	// Model-only drops never abort — every cell completes, and a total
+	// model outage with no retry budget degrades every model fetch while
+	// still delivering the (unenhanced) video.
+	for _, c := range res.Cells {
+		if c.Scope == "model" && !c.Completed {
+			t.Errorf("model-scope cell drop=%.2f retries=%d aborted; model faults must degrade, not kill", c.DropRate, c.Retries)
+		}
+	}
+	if c := res.Cell("model", 1, 0); c == nil || !c.Completed || c.Degraded == 0 {
+		t.Errorf("total model outage should complete degraded, got %+v", c)
+	} else if c.PSNR >= clean.PSNR {
+		t.Errorf("degraded playback PSNR %.2f not below clean %.2f", c.PSNR, clean.PSNR)
+	}
+}

@@ -11,20 +11,24 @@
 // plain `Obs *obs.Obs` field (or parameter) whose zero value means
 // "off"; the instrumentation call sites never branch on it.
 //
-// Stable metric surface (asserted by tests, documented in DESIGN.md):
+// Stable metric surface (asserted by tests, tabulated with meanings in
+// docs/OPERATIONS.md):
 //
 //	prepare_runs_total, prepare_segments_total, prepare_clusters_total,
 //	train_samples_total, train_steps_total, train_flops_total,
 //	segments_fetched_total, cache_hits_total, cache_misses_total,
 //	video_bytes_total, model_bytes_total,
+//	degraded_segments_total, model_fetch_failures_total,
 //	codec_frames_decoded_total, codec_iframes_enhanced_total,
 //	codec_enhance_seconds (histogram),
 //	transport_requests_total, transport_not_found_total,
 //	transport_bytes_in_total, transport_bytes_out_total,
+//	transport_open_conns (gauge),
 //	transport_manifest_seconds, transport_segment_seconds,
-//	transport_model_seconds (histograms),
+//	transport_model_seconds, transport_unknown_seconds (histograms),
 //	transport_client_requests_total, transport_client_bytes_up_total,
-//	transport_client_bytes_down_total.
+//	transport_client_bytes_down_total, transport_client_retries_total,
+//	transport_client_timeouts_total, transport_client_reconnects_total.
 package obs
 
 // Obs bundles the three observability facilities a component may use.

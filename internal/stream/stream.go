@@ -3,6 +3,24 @@
 // model cache with the fetch-on-miss policy of paper Algorithm 1, and
 // byte-accurate download accounting used by the bandwidth experiments
 // (paper Fig 10).
+//
+// # Fault model
+//
+// Algorithm 1 assumes every model fetch succeeds; Session extends it
+// with graceful degradation. A Session with a Fetcher hook performs a
+// real download per cache miss, and a failed fetch degrades the segment
+// (Event.Degraded, Session.DegradedSegments) instead of aborting the
+// walk: playback continues without SR for that segment, and because the
+// cache only ever records successful downloads, the label is retried
+// lazily the next time a segment references it. The degraded counters
+// surface as the obs metrics degraded_segments_total and
+// model_fetch_failures_total. See docs/OPERATIONS.md for the full
+// failure-mode catalogue and DESIGN.md for the retry/degrade state
+// machine.
+//
+// A Session is single-goroutine, like the transport.Client that usually
+// backs its Fetcher: segments are walked strictly in order, one at a
+// time.
 package stream
 
 import (
@@ -34,7 +52,11 @@ type Manifest struct {
 	Models   map[int]ModelInfo
 }
 
-// Validate checks internal consistency.
+// Validate checks internal consistency: frame ranges must be non-empty,
+// model references must resolve, segment sizes must be non-negative, and
+// every model must have a positive payload (a zero- or negative-byte
+// model is undeserializable and would silently corrupt the byte
+// accounting the bandwidth experiments depend on).
 func (m *Manifest) Validate() error {
 	for _, s := range m.Segments {
 		if s.ModelLabel >= 0 {
@@ -44,6 +66,14 @@ func (m *Manifest) Validate() error {
 		}
 		if s.End <= s.Start {
 			return fmt.Errorf("stream: segment %d has empty frame range", s.Index)
+		}
+		if s.Bytes < 0 {
+			return fmt.Errorf("stream: segment %d has negative size %d", s.Index, s.Bytes)
+		}
+	}
+	for label, mi := range m.Models {
+		if mi.Bytes <= 0 {
+			return fmt.Errorf("stream: model %d has non-positive size %d", label, mi.Bytes)
 		}
 	}
 	return nil
@@ -82,9 +112,12 @@ func (m *Manifest) ModelLabels() []int {
 type Event struct {
 	Segment         int
 	ModelLabel      int
-	ModelDownloaded bool // false = cache hit or no model needed
+	ModelDownloaded bool // false = cache hit, no model needed, or degraded
 	SegmentBytes    int
 	ModelBytes      int
+	// Degraded marks a segment whose model fetch failed: it plays without
+	// SR and its label stays uncached so the next reference retries.
+	Degraded bool
 }
 
 // Session simulates a client streaming session: segments are downloaded in
@@ -108,10 +141,24 @@ type Session struct {
 	ModelBytes int
 	CacheHits  int
 	// CacheMisses counts segments whose model had to be downloaded
-	// (equals Downloads; kept separate so hit+miss covers exactly the
-	// segments that needed a model).
+	// (kept separate from Downloads so hit+miss covers exactly the
+	// segments that needed a model; with a Fetcher the two differ by the
+	// failed attempts, which are misses but not downloads).
 	CacheMisses int
-	Downloads   int
+	// Downloads counts successful model downloads.
+	Downloads int
+
+	// Fetcher, when set, performs the actual model download on each cache
+	// miss (e.g. a transport round-trip). A nil Fetcher (the default)
+	// treats every download as instantaneous success — the seed
+	// simulation behaviour. When Fetcher returns an error the segment is
+	// marked degraded (it plays without SR), the failure is recorded in
+	// DegradedSegments and the obs counters model_fetch_failures_total /
+	// degraded_segments_total, and the label stays uncached so its next
+	// reference retries the fetch lazily.
+	Fetcher func(label int) error
+	// DegradedSegments counts segments whose model fetch failed.
+	DegradedSegments int
 }
 
 // NewSession starts a session over manifest. When useCache is false every
@@ -147,13 +194,29 @@ func (s *Session) Step(seg SegmentInfo) Event {
 			s.Obs.Counter("cache_hits_total").Inc()
 			sp.Set("cache", "hit")
 		} else {
+			s.CacheMisses++
+			s.Obs.Counter("cache_misses_total").Inc()
+			if s.Fetcher != nil {
+				if err := s.Fetcher(seg.ModelLabel); err != nil {
+					// Degrade instead of aborting: the segment plays
+					// without SR and the label stays uncached so its next
+					// reference retries the fetch (Algorithm 1's cache
+					// only ever holds successful downloads).
+					ev.Degraded = true
+					s.DegradedSegments++
+					s.Obs.Counter("model_fetch_failures_total").Inc()
+					s.Obs.Counter("degraded_segments_total").Inc()
+					sp.Set("cache", "degraded")
+					s.Events = append(s.Events, ev)
+					sp.End()
+					return ev
+				}
+			}
 			mi := s.manifest.Models[seg.ModelLabel]
 			ev.ModelDownloaded = true
 			ev.ModelBytes = mi.Bytes
 			s.ModelBytes += mi.Bytes
 			s.Downloads++
-			s.CacheMisses++
-			s.Obs.Counter("cache_misses_total").Inc()
 			s.Obs.Counter("model_bytes_total").Add(int64(mi.Bytes))
 			sp.Set("cache", "miss")
 			sp.Set("model_bytes", mi.Bytes)

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 )
@@ -97,22 +98,135 @@ func TestSegmentsWithoutModels(t *testing.T) {
 }
 
 func TestManifestValidate(t *testing.T) {
-	bad := &Manifest{
-		Segments: []SegmentInfo{{Index: 0, Start: 0, End: 5, ModelLabel: 9}},
-		Models:   map[int]ModelInfo{},
+	valid := func() *Manifest {
+		return &Manifest{
+			Segments: []SegmentInfo{{Index: 0, Start: 0, End: 5, Bytes: 500, ModelLabel: 1}},
+			Models:   map[int]ModelInfo{1: {Label: 1, Bytes: 100}},
+		}
 	}
-	if err := bad.Validate(); err == nil {
-		t.Error("accepted dangling model reference")
+	cases := []struct {
+		name    string
+		mutate  func(*Manifest)
+		wantErr bool
+	}{
+		{"valid", func(*Manifest) {}, false},
+		{"zero-byte segment is fine (all-skip coding)", func(m *Manifest) {
+			m.Segments[0].Bytes = 0
+		}, false},
+		{"no model needed", func(m *Manifest) {
+			m.Segments[0].ModelLabel = -1
+		}, false},
+		{"dangling model reference", func(m *Manifest) {
+			m.Segments[0].ModelLabel = 9
+		}, true},
+		{"empty frame range", func(m *Manifest) {
+			m.Segments[0].Start, m.Segments[0].End = 5, 5
+		}, true},
+		{"inverted frame range", func(m *Manifest) {
+			m.Segments[0].Start, m.Segments[0].End = 5, 2
+		}, true},
+		{"negative segment bytes", func(m *Manifest) {
+			m.Segments[0].Bytes = -1
+		}, true},
+		{"zero-byte model", func(m *Manifest) {
+			m.Models[1] = ModelInfo{Label: 1, Bytes: 0}
+		}, true},
+		{"negative model bytes", func(m *Manifest) {
+			m.Models[1] = ModelInfo{Label: 1, Bytes: -100}
+		}, true},
+		{"unreferenced zero-byte model still rejected", func(m *Manifest) {
+			m.Models[7] = ModelInfo{Label: 7}
+		}, true},
 	}
-	empty := &Manifest{
-		Segments: []SegmentInfo{{Index: 0, Start: 5, End: 5, ModelLabel: -1}},
-		Models:   map[int]ModelInfo{},
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := valid()
+			tc.mutate(m)
+			err := m.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() = %v, wantErr=%v", err, tc.wantErr)
+			}
+			if _, serr := NewSession(m, true); (serr != nil) != tc.wantErr {
+				t.Fatalf("NewSession error = %v, wantErr=%v", serr, tc.wantErr)
+			}
+		})
 	}
-	if err := empty.Validate(); err == nil {
-		t.Error("accepted empty segment range")
+}
+
+// failTwiceFetcher fails the first two fetches of each label, modelling a
+// transient outage that lazy retry rides out.
+func failTwiceFetcher(failed map[int]int) func(int) error {
+	return func(label int) error {
+		if failed[label] < 2 {
+			failed[label]++
+			return errInjected
+		}
+		return nil
 	}
-	if _, err := NewSession(bad, true); err == nil {
-		t.Error("NewSession accepted invalid manifest")
+}
+
+var errInjected = fmt.Errorf("stream_test: injected fetch failure")
+
+func TestSessionDegradesOnFetchFailure(t *testing.T) {
+	m := paperFig7Manifest()
+	s, err := NewSession(m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := map[int]int{}
+	s.Fetcher = failTwiceFetcher(failed)
+	s.Run()
+	// Label 2 covers segments 3,4,5: fetches at 3 and 4 fail, 5 succeeds.
+	// Labels 0,1,3 cover too few segments to recover.
+	var degraded []int
+	for _, ev := range s.Events {
+		if ev.Degraded {
+			if ev.ModelDownloaded || ev.ModelBytes != 0 {
+				t.Errorf("degraded segment %d counted as a download", ev.Segment)
+			}
+			degraded = append(degraded, ev.Segment)
+		}
+	}
+	if !reflect.DeepEqual(degraded, []int{0, 1, 2, 3, 4, 6}) {
+		t.Errorf("degraded segments %v, want [0 1 2 3 4 6]", degraded)
+	}
+	if s.DegradedSegments != 6 {
+		t.Errorf("DegradedSegments = %d, want 6", s.DegradedSegments)
+	}
+	if s.Downloads != 1 {
+		t.Errorf("Downloads = %d, want 1 (only label 2 recovers)", s.Downloads)
+	}
+	// Misses count attempts (7: every non-hit reference), downloads count
+	// successes (1); hits are zero because nothing earlier got cached
+	// except label 2 at segment 5 — which has no later reference.
+	if s.CacheMisses != 7 || s.CacheHits != 0 {
+		t.Errorf("misses=%d hits=%d, want 7/0", s.CacheMisses, s.CacheHits)
+	}
+	// Byte accounting covers only real transfers: video + one model.
+	if s.ModelBytes != 120 {
+		t.Errorf("ModelBytes = %d, want 120 (label 2 only)", s.ModelBytes)
+	}
+	if got := s.CacheContents(); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("cache contents %v, want [2]", got)
+	}
+}
+
+func TestSessionFetcherAllSucceedMatchesSeed(t *testing.T) {
+	m := paperFig7Manifest()
+	plain, _ := NewSession(m, true)
+	plain.Run()
+	hooked, _ := NewSession(m, true)
+	hooked.Fetcher = func(int) error { return nil }
+	hooked.Run()
+	if !reflect.DeepEqual(plain.Events, hooked.Events) {
+		t.Error("always-succeeding Fetcher changed the event log")
+	}
+	if plain.TotalBytes() != hooked.TotalBytes() ||
+		plain.Downloads != hooked.Downloads ||
+		plain.CacheHits != hooked.CacheHits ||
+		plain.CacheMisses != hooked.CacheMisses ||
+		hooked.DegradedSegments != 0 {
+		t.Errorf("accounting diverged: plain %+v, hooked %+v", plain, hooked)
 	}
 }
 

@@ -2,9 +2,12 @@ package transport
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"time"
 
 	"dcsr/internal/codec"
 	"dcsr/internal/edsr"
@@ -14,26 +17,63 @@ import (
 )
 
 // Client fetches a dcSR stream over a connection. It is not safe for
-// concurrent use (the protocol is strictly request/response per
-// connection); open one client per goroutine.
+// concurrent use: the protocol is strictly request/response per
+// connection, so exactly one goroutine may drive a Client at a time —
+// open one client per goroutine. (The Server side is concurrent; the
+// single-goroutine contract is per client connection.)
+//
+// The zero-configured client fails on the first I/O error, like the
+// original implementation. Set Retry and Redial to survive flaky links:
+// failed exchanges are retried with exponential backoff on a freshly
+// dialed connection, per-request deadlines bound slow responses, and
+// Play degrades gracefully when a micro-model fetch ultimately fails
+// (the affected segments play unenhanced instead of aborting playback).
 type Client struct {
 	conn io.ReadWriter
+	// broken marks the connection desynchronized after an I/O failure:
+	// a response may still be in flight, so the next exchange must
+	// reconnect before writing.
+	broken bool
 
 	// BytesDown counts payload plus framing bytes received.
 	BytesDown int
 	// BytesUp counts request bytes sent.
 	BytesUp int
 
+	// Retries, Timeouts and Reconnects mirror the obs counters
+	// transport_client_{retries,timeouts,reconnects}_total for callers
+	// without a metrics registry.
+	Retries    int
+	Timeouts   int
+	Reconnects int
+	// StallTime accumulates backoff sleeps — delivery time lost to
+	// faults, the "stall" axis of the fault-injection experiment.
+	StallTime time.Duration
+
+	// Retry configures per-request deadlines and retry/backoff; the
+	// zero value reproduces the original fail-fast behaviour.
+	Retry RetryPolicy
+	// Redial, when set, re-establishes the connection after an I/O
+	// failure (the previous connection is closed when it implements
+	// io.Closer). Without it, transport-level failures are fatal.
+	Redial func() (io.ReadWriter, error)
+
 	// Log receives request failures and per-segment debug lines; nil
 	// (the default) discards them — previously client errors were
 	// silent.
 	Log *obs.Logger
-	// Obs records transport_client_requests_total and
-	// transport_client_bytes_up/down_total; nil disables metrics.
+	// Obs records transport_client_requests_total,
+	// transport_client_bytes_up/down_total and the fault-tolerance
+	// counters transport_client_{retries,timeouts,reconnects}_total;
+	// nil disables metrics.
 	Obs *obs.Obs
+
+	sleep func(time.Duration) // test hook; time.Sleep when nil
+	rng   *rand.Rand          // jitter PRNG, lazily seeded from Retry.Seed
 }
 
-// NewClient wraps an established connection (TCP, net.Pipe, throttled…).
+// NewClient wraps an established connection (TCP, net.Pipe, throttled,
+// fault-injected…).
 func NewClient(conn io.ReadWriter) *Client { return &Client{conn: conn} }
 
 // Dial connects to a Server over TCP.
@@ -45,8 +85,57 @@ func Dial(addr string) (*Client, net.Conn, error) {
 	return NewClient(conn), conn, nil
 }
 
-func (c *Client) roundTrip(op byte, arg uint32) ([]byte, error) {
+func (c *Client) sleepFor(d time.Duration) {
+	if c.sleep != nil {
+		c.sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+func (c *Client) jitterRNG() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.Retry.Seed))
+	}
+	return c.rng
+}
+
+// reconnect replaces a broken connection through Redial, closing the old
+// one so the peer's stale handler can unwind.
+func (c *Client) reconnect() error {
+	if c.Redial == nil {
+		return errors.New("transport: connection broken and no Redial configured")
+	}
+	if cl, ok := c.conn.(io.Closer); ok {
+		cl.Close()
+	}
+	conn, err := c.Redial()
+	if err != nil {
+		c.Log.Error("transport: redial failed", "err", err)
+		return fmt.Errorf("transport: redial: %w", err)
+	}
+	c.conn = conn
+	c.broken = false
+	c.Reconnects++
+	c.Obs.Counter("transport_client_reconnects_total").Inc()
+	c.Log.Info("transport: reconnected", "reconnects", c.Reconnects)
+	return nil
+}
+
+// attempt performs one request/response exchange on the current
+// connection. Transport-level failures mark the connection broken;
+// protocol rejections come back as *statusError with the connection
+// still usable.
+func (c *Client) attempt(op byte, arg uint32, timeout time.Duration) ([]byte, error) {
+	if timeout > 0 {
+		if d, ok := c.conn.(readDeadliner); ok {
+			if err := d.SetReadDeadline(time.Now().Add(timeout)); err == nil {
+				defer d.SetReadDeadline(time.Time{})
+			}
+		}
+	}
 	if err := writeRequest(c.conn, op, arg); err != nil {
+		c.broken = true
 		c.Log.Error("transport: client write failed", "op", opName(op), "arg", arg, "err", err)
 		return nil, err
 	}
@@ -55,21 +144,57 @@ func (c *Client) roundTrip(op byte, arg uint32) ([]byte, error) {
 	c.Obs.Counter("transport_client_bytes_up_total").Add(reqFrameBytes)
 	status, payload, err := readResponse(c.conn)
 	if err != nil {
+		c.broken = true
 		c.Log.Error("transport: client read failed", "op", opName(op), "arg", arg, "err", err)
 		return nil, err
 	}
 	c.BytesDown += respFrameBytes + len(payload)
 	c.Obs.Counter("transport_client_bytes_down_total").Add(respFrameBytes + int64(len(payload)))
-	switch status {
-	case StatusOK:
+	if status == StatusOK {
 		return payload, nil
-	case StatusNotFound:
-		err = fmt.Errorf("transport: op %d arg %d: not found", op, arg)
-	default:
-		err = fmt.Errorf("transport: op %d arg %d: status %d", op, arg, status)
 	}
 	c.Log.Warn("transport: request failed", "op", opName(op), "arg", arg, "status", status)
-	return nil, err
+	return nil, &statusError{op: op, arg: arg, status: status}
+}
+
+// roundTrip drives one request through the retry state machine: attempt,
+// classify the failure, back off, reconnect, try again — up to
+// Retry.MaxRetries extra attempts.
+func (c *Client) roundTrip(op byte, arg uint32) ([]byte, error) {
+	pol := c.Retry.withDefaults()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if c.broken {
+			if err := c.reconnect(); err != nil {
+				lastErr = err
+			}
+		}
+		if !c.broken {
+			payload, err := c.attempt(op, arg, pol.Timeout)
+			if err == nil {
+				return payload, nil
+			}
+			var se *statusError
+			if errors.As(err, &se) {
+				return nil, err // deterministic rejection; never retried
+			}
+			if isTimeoutErr(err) {
+				c.Timeouts++
+				c.Obs.Counter("transport_client_timeouts_total").Inc()
+			}
+			lastErr = err
+		}
+		if attempt >= pol.MaxRetries {
+			return nil, lastErr
+		}
+		c.Retries++
+		c.Obs.Counter("transport_client_retries_total").Inc()
+		d := pol.backoff(attempt, c.jitterRNG())
+		c.StallTime += d
+		c.Log.Warn("transport: retrying request", "op", opName(op), "arg", arg,
+			"attempt", attempt+1, "backoff", d, "err", lastErr)
+		c.sleepFor(d)
+	}
 }
 
 // Manifest fetches and parses the stream manifest.
@@ -115,12 +240,25 @@ type PlayStats struct {
 	VideoBytes     int
 	ModelBytes     int
 	Enhanced       int
+	// DegradedSegments counts segments played without SR because their
+	// micro-model fetch ultimately failed (after the retry budget).
+	// Degraded labels are retried lazily on their next reference, so a
+	// transient outage degrades a bounded stretch of playback rather
+	// than the rest of the session.
+	DegradedSegments int
 }
 
 // Play streams the whole video segment by segment: fetch the sub-stream,
 // fetch its micro model on cache miss (paper Algorithm 1), decode with the
 // model patched into the decoder's I-frame hook, and append the frames.
 // With enhance=false it plays the raw low-quality stream.
+//
+// Failure semantics: a segment (or manifest) fetch that fails after the
+// retry budget aborts the session — there is nothing to show without
+// video bytes. A micro-model fetch that fails after the retry budget
+// degrades instead of aborting: the segment plays unenhanced, the label
+// is marked degraded (stats.DegradedSegments, degraded_segments_total),
+// and the next segment referencing the label retries the download.
 func (c *Client) Play(enhance bool) ([]*video.YUV, *PlayStats, error) {
 	root := c.Obs.Start("client_play")
 	defer root.End()
@@ -130,6 +268,7 @@ func (c *Client) Play(enhance bool) ([]*video.YUV, *PlayStats, error) {
 	}
 	stats := &PlayStats{}
 	cache := make(map[int]*edsr.Model)
+	degraded := make(map[int]bool)
 	var out []*video.YUV
 	for _, seg := range wm.Segments {
 		sp := root.Child("segment_fetch")
@@ -151,19 +290,33 @@ func (c *Client) Play(enhance bool) ([]*video.YUV, *PlayStats, error) {
 				c.Obs.Counter("cache_hits_total").Inc()
 				sp.Set("cache", "hit")
 			} else {
+				c.Obs.Counter("cache_misses_total").Inc()
 				m, n, err := c.Model(seg.ModelLabel, wm.MicroConfig)
 				if err != nil {
-					sp.End()
-					return nil, nil, err
+					// Graceful degradation: play this segment without SR
+					// rather than aborting the session; the label stays
+					// uncached so its next reference retries the fetch.
+					stats.DegradedSegments++
+					degraded[seg.ModelLabel] = true
+					c.Obs.Counter("model_fetch_failures_total").Inc()
+					c.Obs.Counter("degraded_segments_total").Inc()
+					sp.Set("cache", "degraded")
+					c.Log.Warn("transport: model fetch failed; playing segment without SR",
+						"segment", seg.Index, "model", seg.ModelLabel, "err", err)
+				} else {
+					cache[seg.ModelLabel] = m
+					model = m
+					stats.ModelDownloads++
+					stats.ModelBytes += n
+					c.Obs.Counter("model_bytes_total").Add(int64(n))
+					sp.Set("cache", "miss")
+					sp.Set("model_bytes", n)
+					if degraded[seg.ModelLabel] {
+						delete(degraded, seg.ModelLabel)
+						c.Log.Info("transport: degraded model recovered",
+							"segment", seg.Index, "model", seg.ModelLabel)
+					}
 				}
-				cache[seg.ModelLabel] = m
-				model = m
-				stats.ModelDownloads++
-				stats.ModelBytes += n
-				c.Obs.Counter("cache_misses_total").Inc()
-				c.Obs.Counter("model_bytes_total").Add(int64(n))
-				sp.Set("cache", "miss")
-				sp.Set("model_bytes", n)
 			}
 		}
 		sp.End()

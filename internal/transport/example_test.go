@@ -1,0 +1,85 @@
+package transport_test
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"dcsr/internal/core"
+	"dcsr/internal/edsr"
+	"dcsr/internal/faultnet"
+	"dcsr/internal/splitter"
+	"dcsr/internal/transport"
+	"dcsr/internal/vae"
+	"dcsr/internal/video"
+)
+
+// Example_faultTolerantSession streams a prepared clip through a
+// throttled, fault-injected connection where every micro-model response is
+// dropped (a model-CDN outage while video delivery stays healthy). The
+// client retries with backoff, reconnects, then degrades each affected
+// segment and keeps playing unenhanced — the session still completes with
+// every frame delivered. See docs/OPERATIONS.md for the failure-mode
+// catalogue behind this behaviour.
+func Example_faultTolerantSession() {
+	clip := video.Generate(video.GenConfig{
+		W: 80, H: 48, Seed: 23, NumScenes: 3, TotalCues: 6, MinFrames: 5, MaxFrames: 8,
+	})
+	frames := clip.YUVFrames()
+	prep, err := core.Prepare(frames, clip.FPS, core.ServerConfig{
+		QP:          51,
+		Split:       splitter.Config{Threshold: 14, MinLen: 3},
+		VAE:         vae.Config{ImgSize: 16, LatentDim: 4, BaseCh: 4},
+		VAETrain:    vae.TrainOptions{Epochs: 10, BatchSize: 4},
+		MicroConfig: edsr.Config{Filters: 4, ResBlocks: 1},
+		Train:       edsr.TrainOptions{Steps: 60, BatchSize: 2, PatchSize: 16},
+		Seed:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	srv, err := transport.NewServer(prep)
+	if err != nil {
+		panic(err)
+	}
+
+	// Drop every micro-model response; manifest and segments stay healthy.
+	inj := faultnet.New(faultnet.Config{
+		Decide: func(_ int, frame []byte) faultnet.Kind {
+			if len(frame) == 9 && frame[4] == transport.OpModel {
+				return faultnet.KindDrop
+			}
+			return faultnet.KindNone
+		},
+	})
+	var conns []io.Closer
+	dial := func() (io.ReadWriter, error) {
+		cconn, sconn := net.Pipe()
+		go func() { _ = srv.ServeConn(sconn) }()
+		conns = append(conns, cconn, sconn)
+		// A 1 MiB/s downlink with deterministic fault injection on top.
+		return inj.Wrap(transport.NewThrottledConn(cconn, 1<<20)), nil
+	}
+	conn, _ := dial()
+	client := transport.NewClient(conn)
+	client.Redial = dial
+	client.Retry = transport.RetryPolicy{
+		MaxRetries: 1,
+		BaseDelay:  time.Millisecond,
+		MaxDelay:   2 * time.Millisecond,
+		Seed:       1,
+	}
+
+	out, stats, err := client.Play(true)
+	for _, c := range conns {
+		c.Close()
+	}
+	fmt.Println("playback completed:", err == nil && len(out) == len(frames))
+	fmt.Println("degraded but watchable:", stats.DegradedSegments > 0 && stats.VideoBytes > 0)
+	fmt.Println("recovery attempted:", client.Retries > 0 && client.Reconnects > 0)
+	// Output:
+	// playback completed: true
+	// degraded but watchable: true
+	// recovery attempted: true
+}

@@ -40,8 +40,8 @@ func TestServerClientObservability(t *testing.T) {
 	so := obs.New()
 	srv.Obs = so
 	cconn, sconn := net.Pipe()
-	go func() { _ = srv.ServeConn(sconn) }()
-	defer cconn.Close()
+	served := make(chan struct{})
+	go func() { defer close(served); _ = srv.ServeConn(sconn) }()
 	defer sconn.Close()
 
 	co := obs.New()
@@ -51,6 +51,10 @@ func TestServerClientObservability(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Hang up and wait for ServeConn to return so the server has finished
+	// accounting its final response before we snapshot its registry.
+	cconn.Close()
+	<-served
 
 	ss := so.Metrics.Snapshot()
 	wantReqs := int64(1 + len(prep.Segments) + stats.ModelDownloads)

@@ -8,6 +8,41 @@
 // package is the equivalent delivery path: the client downloads the
 // manifest, then per segment the coded sub-stream plus (on cache miss) the
 // segment's micro model, decoding and enhancing as it goes.
+//
+// # Wire protocol
+//
+// Every exchange is one fixed-size request frame followed by one
+// length-prefixed response. A request is exactly 9 bytes:
+//
+//	magic 'dcT1' (4) | opcode (1) | big-endian uint32 arg (4)
+//
+// where opcode is OpManifest, OpSegment or OpModel and arg is the segment
+// index or model label (ignored for OpManifest). The response is a 5-byte
+// header — status (1) | big-endian uint32 payload length (4) — followed by
+// the payload. Payloads are capped at maxPayload; a non-OK status carries
+// no payload. Because frames carry no sequence numbers, a short read or
+// dropped response desynchronizes the stream irrecoverably: the Client
+// therefore marks its connection broken on any transport-level error and
+// redials (Client.Redial) rather than attempting to resynchronize.
+//
+// # Client concurrency contract
+//
+// A Client owns exactly one connection and issues requests strictly
+// sequentially; it is not safe for concurrent use. This mirrors a player's
+// fetch loop (the paper's Algorithm 1 walks segments in order) and keeps
+// the framing trivially correct — at most one request is ever in flight.
+// Open multiple Clients for parallel sessions; the Server handles each
+// connection in its own goroutine.
+//
+// # Fault tolerance
+//
+// Client.Retry configures retries with exponential backoff and jitter plus
+// a per-request deadline; see RetryPolicy. Application-level failures
+// (StatusNotFound, StatusBadReq) are never retried — only transport-level
+// errors and timeouts are, after reconnecting through Client.Redial. The
+// internal/faultnet package injects deterministic faults beneath a Client
+// for testing; docs/OPERATIONS.md describes the failure modes and the
+// degraded-playback semantics end to end.
 package transport
 
 import (

@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"time"
+)
+
+// RetryPolicy configures how a Client survives delivery failures: how
+// long one request may take, how often it is retried, and how the
+// retries back off. The zero value is the seed behaviour — no deadline,
+// no retry, fail on the first I/O error — so existing callers are
+// byte-for-byte unaffected.
+//
+// Only transport-level failures (write errors, read errors, timeouts,
+// injected faults) are retried; protocol-level rejections (StatusNotFound,
+// StatusBadReq) are deterministic and returned immediately. A failed
+// request leaves the connection desynchronized, so a retry first
+// re-establishes the connection through Client.Redial; without a Redial
+// hook, transport-level failures are fatal exactly as in the zero policy.
+type RetryPolicy struct {
+	// MaxRetries is how many additional attempts follow a failed one.
+	// 0 (default) disables retrying.
+	MaxRetries int
+	// BaseDelay is the backoff before the first retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per attempt (default 2).
+	Multiplier float64
+	// Jitter randomizes that fraction of each backoff (default 0.2;
+	// negative disables jitter entirely). Jitter draws come from a PRNG
+	// seeded with Seed, so schedules are reproducible.
+	Jitter float64
+	// Timeout bounds one request/response exchange via a read deadline
+	// on the connection (0 = none). Connections that do not implement
+	// SetReadDeadline — strings readers in tests, say — silently run
+	// without a deadline.
+	Timeout time.Duration
+	// Seed seeds the jitter PRNG.
+	Seed int64
+}
+
+// withDefaults fills the documented defaults for enabled retrying.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 0
+		return p
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	switch {
+	case p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter == 0:
+		p.Jitter = 0.2
+	case p.Jitter > 1:
+		p.Jitter = 1
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number attempt (0-based):
+// BaseDelay·Multiplier^attempt capped at MaxDelay, with the Jitter
+// fraction redrawn uniformly so synchronized clients spread out.
+func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
+	d := float64(p.BaseDelay) * math.Pow(p.Multiplier, float64(attempt))
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 && rng != nil {
+		d = d*(1-p.Jitter) + rng.Float64()*d*p.Jitter
+	}
+	return time.Duration(d)
+}
+
+// statusError is a protocol-level failure: the response arrived intact
+// but carried a non-OK status. The connection stays synchronized and the
+// outcome is deterministic, so statusError is never retried.
+type statusError struct {
+	op     byte
+	arg    uint32
+	status byte
+}
+
+func (e *statusError) Error() string {
+	if e.status == StatusNotFound {
+		return fmt.Sprintf("transport: op %d arg %d: not found", e.op, e.arg)
+	}
+	return fmt.Sprintf("transport: op %d arg %d: status %d", e.op, e.arg, e.status)
+}
+
+// IsNotFound reports whether err is the server's StatusNotFound reply —
+// the one failure that is semantic (the artifact does not exist) rather
+// than transport-level.
+func IsNotFound(err error) bool {
+	var se *statusError
+	return errors.As(err, &se) && se.status == StatusNotFound
+}
+
+// isTimeoutErr classifies deadline expiries for the timeout metric.
+func isTimeoutErr(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// readDeadliner is the optional connection capability per-request
+// timeouts need; net.Conn, net.Pipe ends, faultnet.Conn and
+// ThrottledConn all provide it.
+type readDeadliner interface{ SetReadDeadline(time.Time) error }

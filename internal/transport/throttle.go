@@ -85,3 +85,23 @@ func (t *ThrottledConn) Read(p []byte) (int, error) {
 
 // Write passes through to the inner connection.
 func (t *ThrottledConn) Write(p []byte) (int, error) { return t.inner.Write(p) }
+
+// Close forwards to the inner connection when it is an io.Closer, so a
+// reconnecting client can release the throttled link underneath.
+func (t *ThrottledConn) Close() error {
+	if cl, ok := t.inner.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
+
+// SetReadDeadline forwards to the inner connection when supported, so
+// per-request timeouts keep working through the throttling layer. Note
+// that the token-bucket sleep happens after the read: a deadline bounds
+// the wait for bytes, not the simulated drain time.
+func (t *ThrottledConn) SetReadDeadline(dl time.Time) error {
+	if d, ok := t.inner.(interface{ SetReadDeadline(time.Time) error }); ok {
+		return d.SetReadDeadline(dl)
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package dcsr_test
+
+import (
+	"io"
+	"net"
+	"os"
+	"regexp"
+	"sort"
+	"testing"
+	"time"
+
+	"dcsr/internal/core"
+	"dcsr/internal/edsr"
+	"dcsr/internal/faultnet"
+	"dcsr/internal/obs"
+	"dcsr/internal/splitter"
+	"dcsr/internal/transport"
+	"dcsr/internal/vae"
+	"dcsr/internal/video"
+)
+
+// opsMetricRow matches a metric row of the docs/OPERATIONS.md tables:
+// a table cell whose entire content is one backticked lower_snake name.
+// Rows documenting Go identifiers (RetryPolicy fields etc.) contain
+// uppercase and don't match.
+var opsMetricRow = regexp.MustCompile("^\\| `([a-z0-9_]+)` \\|")
+
+// TestOperationsDocMetrics pins docs/OPERATIONS.md to the code: the set
+// of metric names the documentation tabulates must equal — in both
+// directions — the set of names a full pipeline run registers. The run
+// covers prepare, local playback, a TCP serve with fault injection
+// (drops, a timeout, degraded model fetches), a not-found request and an
+// unknown opcode, so every stable metric is registered.
+func TestOperationsDocMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the pipeline; skipped in short mode")
+	}
+	raw, err := os.ReadFile("docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]bool{}
+	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(raw), -1) {
+		if m := opsMetricRow.FindStringSubmatch(line); m != nil {
+			if documented[m[1]] {
+				t.Errorf("docs/OPERATIONS.md documents %s twice", m[1])
+			}
+			documented[m[1]] = true
+		}
+	}
+	if len(documented) == 0 {
+		t.Fatal("no metric rows parsed from docs/OPERATIONS.md")
+	}
+
+	// One shared bundle across every stage, so the snapshot at the end is
+	// the union of everything the system can register.
+	o := obs.New()
+	clip := video.Generate(video.GenConfig{
+		W: 80, H: 48, Seed: 23, NumScenes: 3, TotalCues: 6, MinFrames: 5, MaxFrames: 8,
+	})
+	frames := clip.YUVFrames()
+	prep, err := core.Prepare(frames, clip.FPS, core.ServerConfig{
+		QP:          51,
+		Split:       splitter.Config{Threshold: 14, MinLen: 3},
+		VAE:         vae.Config{ImgSize: 16, LatentDim: 4, BaseCh: 4},
+		VAETrain:    vae.TrainOptions{Epochs: 10, BatchSize: 4},
+		MicroConfig: edsr.Config{Filters: 4, ResBlocks: 1},
+		Train:       edsr.TrainOptions{Steps: 60, BatchSize: 2, PatchSize: 16},
+		Seed:        1,
+		Obs:         o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Local playback: session accounting plus codec decode/enhance.
+	player := core.NewPlayer(prep)
+	player.Obs = o
+	if _, err := player.Play(); err != nil {
+		t.Fatal(err)
+	}
+
+	// TCP serve (registers the open-conns gauge) with fault injection on
+	// the client: the second request's response is delayed past the
+	// deadline (timeout + reconnect + retry) and every model response is
+	// dropped (degraded segments, fetch failures).
+	srv, err := transport.NewServer(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Obs = o
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Close()
+
+	inj := faultnet.New(faultnet.Config{
+		Delay: 300 * time.Millisecond,
+		Decide: func(i int, frame []byte) faultnet.Kind {
+			if len(frame) == 9 && frame[4] == transport.OpModel {
+				return faultnet.KindDrop
+			}
+			if i == 1 {
+				return faultnet.KindDelay
+			}
+			return faultnet.KindNone
+		},
+	})
+	dial := func() (io.ReadWriter, error) {
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		return inj.Wrap(conn), nil
+	}
+	conn, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := transport.NewClient(conn)
+	client.Obs = o
+	client.Redial = dial
+	client.Retry = transport.RetryPolicy{
+		MaxRetries: 1,
+		BaseDelay:  time.Millisecond,
+		MaxDelay:   2 * time.Millisecond,
+		Timeout:    50 * time.Millisecond,
+		Seed:       1,
+	}
+	if _, stats, err := client.Play(true); err != nil {
+		t.Fatal(err)
+	} else if stats.DegradedSegments == 0 {
+		t.Fatal("fault schedule produced no degraded segments; doc-coverage run is incomplete")
+	}
+	if client.Timeouts == 0 {
+		t.Error("fault schedule produced no timeout")
+	}
+	// Not-found path (never retried).
+	if _, err := client.Segment(9999); err == nil {
+		t.Fatal("fetching segment 9999 succeeded")
+	}
+	// Unknown opcode → transport_unknown_seconds on the server.
+	rawConn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rawConn.Write([]byte{'d', 'c', 'T', '1', 9, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	var resp [5]byte
+	if _, err := rawConn.Read(resp[:]); err != nil {
+		t.Fatal(err)
+	}
+	rawConn.Close()
+
+	// Quiesce: Close waits for every Serve-accepted handler to finish its
+	// accounting before we snapshot the registry.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := o.Metrics.Snapshot()
+	registered := map[string]bool{}
+	for name := range snap.Counters {
+		registered[name] = true
+	}
+	for name := range snap.Gauges {
+		registered[name] = true
+	}
+	for name := range snap.Histograms {
+		registered[name] = true
+	}
+
+	var missing, stale []string
+	for name := range registered {
+		if !documented[name] {
+			missing = append(missing, name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	for _, name := range missing {
+		t.Errorf("metric %s is registered by the pipeline but missing from docs/OPERATIONS.md", name)
+	}
+	for _, name := range stale {
+		t.Errorf("docs/OPERATIONS.md documents %s but no pipeline stage registers it", name)
+	}
+}
