@@ -4,16 +4,24 @@
 
 GO ?= go
 
-.PHONY: verify build vet test bench
+.PHONY: verify build vet lint test bench
 
-verify: build vet
-	$(GO) test -race ./...
+# The experiments package trains real models and takes well over the
+# default 10m per-package limit under race instrumentation; the longer
+# -timeout covers it without masking hangs elsewhere.
+verify: build vet lint
+	$(GO) test -race -timeout 30m ./...
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis (docs/LINTING.md): metric-name
+# discipline, determinism, error handling, nil-safety, goroutine joins.
+lint:
+	$(GO) run ./cmd/dcsr-lint ./...
 
 test:
 	$(GO) test ./...

@@ -210,7 +210,10 @@ func main() {
 		}
 		data = append(data, '\n')
 		if *jsonOut == "-" {
-			reportW.Write(data)
+			if _, err := reportW.Write(data); err != nil {
+				fmt.Fprintf(os.Stderr, "dcsr-bench: writing report: %v\n", err)
+				os.Exit(1)
+			}
 		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "dcsr-bench: writing report: %v\n", err)
 			os.Exit(1)

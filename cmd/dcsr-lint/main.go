@@ -1,0 +1,83 @@
+// Command dcsr-lint runs the repository's static-analysis pass
+// (internal/lint) over module packages and reports every invariant
+// violation: undocumented or malformed metric names, nondeterminism in
+// the deterministic packages, silently discarded errors, missing
+// nil-receiver guards on obs handles, and unjoined goroutines. The
+// analyzers and the //lint:allow suppression policy are catalogued in
+// docs/LINTING.md.
+//
+// Usage:
+//
+//	dcsr-lint ./...
+//	dcsr-lint -json ./internal/transport
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 usage or load error.
+// The same pass gates `go test` through TestLintRepo, so CI needs no
+// separate toolchain; -json exists for future machine consumption.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dcsr/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	verbose := flag.Bool("v", false, "also report degraded-analysis warnings (unresolvable imports)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dcsr-lint [-json] [-v] [packages]\n\npackages default to ./...; patterns support dir and dir/... forms\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	runner, err := lint.NewRunner(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := runner.Lint(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		for _, soft := range runner.Module.SoftErrors() {
+			fmt.Fprintf(os.Stderr, "dcsr-lint: warning: %v\n", soft)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "dcsr-lint: %d diagnostic(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dcsr-lint: %v\n", err)
+	os.Exit(2)
+}

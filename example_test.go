@@ -75,3 +75,19 @@ func ExampleEncodeVideo() {
 	// Output:
 	// QP 48 smaller than QP 12: true
 }
+
+// ExampleLint runs the repository's own static-analysis pass over the
+// module. A clean tree reports no diagnostics; any output lines would be
+// file:line:col findings from the metricnames, nodeterm, errcheck,
+// nilsafe and goleak checks (see docs/LINTING.md).
+func ExampleLint() {
+	diags, err := dcsr.Lint(".")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("diagnostics:", len(diags))
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	// Output: diagnostics: 0
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -47,8 +48,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go func() { _ = srv.Serve(ln) }()
-	defer srv.Close()
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+			log.Printf("origin: %v", err)
+		}
+	}()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			log.Printf("origin close: %v", err)
+		}
+	}()
 	fmt.Printf("origin serving %d segments + %d micro models on %s\n\n",
 		len(prep.Segments), len(prep.Models), ln.Addr())
 
@@ -70,7 +79,9 @@ func main() {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(start)
-		conn.Close()
+		if err := conn.Close(); err != nil {
+			log.Printf("conn close: %v", err)
+		}
 
 		var psnr float64
 		for i := range frames {

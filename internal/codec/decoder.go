@@ -140,6 +140,10 @@ type Decoder struct {
 	// codec_iframes_enhanced_total and the I-frame-enhance latency
 	// histogram codec_enhance_seconds.
 	Obs *obs.Obs
+	// Now supplies the clock for the enhance-latency histogram; nil
+	// means time.Now. Tests inject a fake clock to make the recorded
+	// latencies deterministic.
+	Now func() time.Time
 }
 
 // Decode reconstructs all frames of s in display order.
@@ -152,6 +156,10 @@ func (d *Decoder) Decode(s *Stream) ([]*video.YUV, error) {
 	enhHist := d.Obs.Histogram("codec_enhance_seconds")
 	enhCtr := d.Obs.Counter("codec_iframes_enhanced_total")
 	frameCtr := d.Obs.Counter("codec_frames_decoded_total")
+	now := d.Now
+	if now == nil {
+		now = time.Now
+	}
 	out := make([]*video.YUV, frameSpan(s))
 	var prevAnchor, lastAnchor *refPair
 	for i := range s.Frames {
@@ -174,7 +182,7 @@ func (d *Decoder) Decode(s *Stream) ([]*video.YUV, error) {
 			if d.Enhancer != nil {
 				var t0 time.Time
 				if enhHist != nil {
-					t0 = time.Now()
+					t0 = now()
 				}
 				enh = d.Enhancer.EnhanceIFrame(ef.Display, f)
 				if enh.W != f.W || enh.H != f.H {
@@ -185,7 +193,7 @@ func (d *Decoder) Decode(s *Stream) ([]*video.YUV, error) {
 				// enhancements count and are timed.
 				if enh != f {
 					if enhHist != nil {
-						enhHist.Observe(time.Since(t0).Seconds())
+						enhHist.Observe(now().Sub(t0).Seconds())
 					}
 					enhCtr.Inc()
 					d.Stats.Enhanced++

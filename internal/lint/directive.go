@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	file   string
+	line   int // line the comment sits on
+	target int // line whose diagnostics it suppresses
+	check  string
+	reason string
+}
+
+// directiveSet indexes directives for suppression lookup.
+type directiveSet struct {
+	byFile map[string][]directive
+}
+
+// allows reports whether a directive suppresses the diagnostic.
+func (s directiveSet) allows(d Diagnostic) bool {
+	for _, dir := range s.byFile[d.File] {
+		if dir.check == d.Check && dir.target == d.Line {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives parses every //lint: comment in the package. A
+// directive trailing code suppresses matching diagnostics on its own
+// line; a directive alone on a line suppresses the next code line, and
+// consecutive standalone directives stack onto the same target line.
+// Malformed directives are returned as (unsuppressable) diagnostics
+// under the pseudo-check "directive".
+func collectDirectives(fset *token.FileSet, pkg *Package, known map[string]bool) (directiveSet, []Diagnostic) {
+	set := directiveSet{byFile: map[string][]directive{}}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		name := fset.Position(f.Pos()).Filename
+		src := pkg.Sources[name]
+		lineStart := lineOffsets(src)
+		var ds []directive
+		standalone := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				d, diag, ok := parseDirective(c.Text, known)
+				if diag != "" {
+					diags = append(diags, Diagnostic{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Check: "directive", Message: diag,
+					})
+				}
+				if !ok {
+					continue
+				}
+				d.file = pos.Filename
+				d.line = pos.Line
+				if isStandaloneComment(src, lineStart, pos.Line, pos.Column) {
+					standalone[pos.Line] = true
+					d.target = 0 // resolved below
+				} else {
+					d.target = pos.Line
+				}
+				ds = append(ds, d)
+			}
+		}
+		// Standalone directives target the next line that is not itself a
+		// standalone directive, so several checks can be allowed for one
+		// statement by stacking comment lines above it.
+		sort.Slice(ds, func(i, j int) bool { return ds[i].line < ds[j].line })
+		for i := len(ds) - 1; i >= 0; i-- {
+			if ds[i].target != 0 {
+				continue
+			}
+			t := ds[i].line + 1
+			for standalone[t] {
+				t++
+			}
+			ds[i].target = t
+		}
+		set.byFile[name] = append(set.byFile[name], ds...)
+	}
+	return set, diags
+}
+
+// parseDirective interprets one comment. It returns the parsed directive
+// (ok=true), and/or a problem message for malformed //lint: comments.
+func parseDirective(text string, known map[string]bool) (directive, string, bool) {
+	rest, isLint := strings.CutPrefix(text, "//lint:")
+	if !isLint {
+		return directive{}, "", false
+	}
+	verb, args, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	if verb != "allow" {
+		return directive{}, fmt.Sprintf("unknown lint directive //lint:%s (only //lint:allow is recognized)", verb), false
+	}
+	check, reason, _ := strings.Cut(strings.TrimSpace(args), " ")
+	if check == "" {
+		return directive{}, "malformed //lint:allow: want \"//lint:allow <check> <reason>\"", false
+	}
+	if !known[check] {
+		names := make([]string, 0, len(known))
+		for n := range known {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return directive{}, fmt.Sprintf("//lint:allow of unknown check %q (known checks: %s)", check, strings.Join(names, ", ")), false
+	}
+	reason = strings.TrimSpace(reason)
+	if reason == "" {
+		return directive{}, fmt.Sprintf("//lint:allow %s is missing the required reason", check), false
+	}
+	return directive{check: check, reason: reason}, "", true
+}
+
+// lineOffsets returns the byte offset of the start of each 1-based line.
+func lineOffsets(src []byte) []int {
+	offs := []int{0, 0} // offs[1] == start of line 1
+	for i, b := range src {
+		if b == '\n' {
+			offs = append(offs, i+1)
+		}
+	}
+	return offs
+}
+
+// isStandaloneComment reports whether only whitespace precedes the
+// comment starting at (line, col) in src.
+func isStandaloneComment(src []byte, lineStart []int, line, col int) bool {
+	if line >= len(lineStart) {
+		return false
+	}
+	start := lineStart[line]
+	end := start + col - 1
+	if end > len(src) {
+		end = len(src)
+	}
+	return len(bytes.TrimSpace(src[start:end])) == 0
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck forbids silently discarded error returns — bare call
+// statements, `defer x.Close()`, and all-blank assignments (`_ = …`) —
+// for a configured discipline set: the classic resource methods
+// (Close/Flush/Write) plus every function and method of
+// internal/transport, whose errors encode the fault-tolerance contract
+// (docs/OPERATIONS.md) and must be handled, logged, or explicitly
+// allowed with a reason.
+type ErrCheck struct {
+	// Methods are selector names (any receiver) whose error result must
+	// not be discarded.
+	Methods map[string]bool
+	// PkgPaths are packages all of whose error-returning functions and
+	// methods are held to the discipline.
+	PkgPaths map[string]bool
+}
+
+// Name implements Analyzer.
+func (*ErrCheck) Name() string { return "errcheck" }
+
+// Doc implements Analyzer.
+func (*ErrCheck) Doc() string {
+	return "errors from Close/Flush/Write and transport calls must not be silently discarded"
+}
+
+// Run implements Analyzer.
+func (a *ErrCheck) Run(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					a.checkCall(p, call, "")
+				}
+			case *ast.DeferStmt:
+				a.checkCall(p, n.Call, "deferred ")
+			case *ast.GoStmt:
+				a.checkCall(p, n.Call, "goroutine ")
+			case *ast.AssignStmt:
+				if !allBlank(n.Lhs) || len(n.Rhs) != 1 {
+					return true
+				}
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+					a.checkCall(p, call, "blank-assigned ")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCall reports the call if it returns an error and its callee is in
+// the discipline set.
+func (a *ErrCheck) checkCall(p *Pass, call *ast.CallExpr, how string) {
+	if !returnsError(p, call) {
+		return
+	}
+	name, disciplined := a.callee(p, call)
+	if !disciplined {
+		return
+	}
+	p.Reportf(call.Pos(), "%scall to %s silently discards its error; handle it, log it, or //lint:allow errcheck with a reason", how, name)
+}
+
+// callee resolves the called function and reports whether it is in the
+// discipline set, with a printable name for the diagnostic.
+func (a *ErrCheck) callee(p *Pass, call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj := p.Info.Uses[fun.Sel]
+		if a.Methods[fun.Sel.Name] {
+			return calleeName(fun), true
+		}
+		if obj != nil && obj.Pkg() != nil && a.PkgPaths[obj.Pkg().Path()] {
+			return calleeName(fun), true
+		}
+	case *ast.Ident:
+		obj := p.Info.Uses[fun]
+		if obj != nil && obj.Pkg() != nil && a.PkgPaths[obj.Pkg().Path()] && obj.Pkg().Path() != p.Path {
+			return fun.Name, true
+		}
+		// Same-package calls are covered when the package itself is in
+		// the set.
+		if a.PkgPaths[p.Path] && obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == p.Path {
+			return fun.Name, true
+		}
+	}
+	return "", false
+}
+
+func calleeName(sel *ast.SelectorExpr) string {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id.Name + "." + sel.Sel.Name
+	}
+	return sel.Sel.Name
+}
+
+// returnsError reports whether the call's results include an error.
+// Missing type info counts as "no" — degraded analysis must not invent
+// diagnostics.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}

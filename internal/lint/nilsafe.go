@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// obsHandleTypes are the observability handle types whose documented
+// contract is "a nil receiver is a no-op" (see the internal/obs package
+// doc). Instrumented call sites never branch on nil, so losing a guard
+// turns every disabled-observability code path into a panic.
+var obsHandleTypes = map[string]bool{
+	"Obs": true, "Registry": true, "Counter": true, "Gauge": true,
+	"Histogram": true, "Tracer": true, "Span": true, "Logger": true,
+}
+
+// NilSafe verifies that every exported pointer-receiver method on an obs
+// handle type visibly handles a nil receiver: the nil guard is the first
+// statement (`if x == nil { … }`), the first statement is a return whose
+// expression short-circuits on a nil comparison, or the method only
+// delegates to other methods of the same (nil-safe) receiver.
+type NilSafe struct {
+	// PkgPath is the obs package's import path.
+	PkgPath string
+}
+
+// Name implements Analyzer.
+func (*NilSafe) Name() string { return "nilsafe" }
+
+// Doc implements Analyzer.
+func (*NilSafe) Doc() string {
+	return "exported obs handle methods keep their nil-receiver guard first"
+}
+
+// Run implements Analyzer.
+func (a *NilSafe) Run(p *Pass) {
+	if p.Path != a.PkgPath {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || !fn.Name.IsExported() || fn.Body == nil {
+				continue
+			}
+			recv := fn.Recv.List[0]
+			star, ok := recv.Type.(*ast.StarExpr)
+			if !ok {
+				continue // value receivers copy; nil cannot reach them
+			}
+			base, ok := star.X.(*ast.Ident)
+			if !ok || !obsHandleTypes[base.Name] {
+				continue
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				continue // receiver unused; trivially nil-safe
+			}
+			name := recv.Names[0].Name
+			if nilGuardFirst(fn.Body, name) || nilShortCircuitReturn(fn.Body, name) || delegatesOnly(fn.Body, name) {
+				continue
+			}
+			p.Reportf(fn.Name.Pos(), "exported method (*%s).%s must handle a nil receiver first (nil %s handles are documented no-ops)", base.Name, fn.Name.Name, base.Name)
+		}
+	}
+}
+
+// nilGuardFirst matches `if recv == nil { … }` as the first statement.
+func nilGuardFirst(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	return isNilComparison(ifs.Cond, recv, token.EQL)
+}
+
+// nilShortCircuitReturn matches a leading `return recv != nil && …` (or
+// any return whose expression compares recv to nil).
+func nilShortCircuitReturn(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ret, ok := body.List[0].(*ast.ReturnStmt)
+	if !ok {
+		return false
+	}
+	found := false
+	for _, res := range ret.Results {
+		ast.Inspect(res, func(n ast.Node) bool {
+			if cmp, ok := n.(*ast.BinaryExpr); ok {
+				if isNilComparison(cmp, recv, token.EQL) || isNilComparison(cmp, recv, token.NEQ) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// delegatesOnly reports whether every use of the receiver in the body is
+// a method call on it (`recv.Method(…)`), so nil-safety is inherited
+// from the callees.
+func delegatesOnly(body *ast.BlockStmt, recv string) bool {
+	used := false
+	safe := true
+	var inspect func(n ast.Node) bool
+	inspect = func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := sel.X.(*ast.Ident); ok && id.Name == recv {
+					used = true
+					// The receiver position is fine; only walk the
+					// arguments for further uses.
+					for _, arg := range call.Args {
+						ast.Inspect(arg, inspect)
+					}
+					return false
+				}
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == recv {
+			used = true
+			safe = false
+			return false
+		}
+		return true
+	}
+	ast.Inspect(body, inspect)
+	return used && safe
+}
+
+// isNilComparison matches `recv <op> nil` or `nil <op> recv`.
+func isNilComparison(expr ast.Expr, recv string, op token.Token) bool {
+	cmp, ok := expr.(*ast.BinaryExpr)
+	if !ok || cmp.Op != op {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(cmp.X) && isNil(cmp.Y)) || (isNil(cmp.X) && isRecv(cmp.Y))
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockFuncs are the time package functions that read the wall
+// clock. Referencing time.Now as a *value* (the injectable-clock default
+// idiom, e.g. `if d.Now == nil { now = time.Now }`) is allowed; calling
+// it directly is not.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededRandCtors are the math/rand identifiers that construct an
+// explicitly seeded generator and are therefore deterministic.
+var seededRandCtors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// NoDeterm enforces bit-determinism in the packages whose outputs the
+// paper's experiments depend on: no direct wall-clock reads, no global
+// (process-seeded) math/rand, and no map iteration feeding ordered
+// output. Clocks and RNGs must be injected (a func() time.Time field, a
+// seeded *rand.Rand parameter) so the same inputs always produce the
+// same bits.
+type NoDeterm struct {
+	// Pkgs is the set of import paths held to the invariant.
+	Pkgs map[string]bool
+}
+
+// Name implements Analyzer.
+func (*NoDeterm) Name() string { return "nodeterm" }
+
+// Doc implements Analyzer.
+func (*NoDeterm) Doc() string {
+	return "deterministic packages must not read wall clocks, global rand, or map order"
+}
+
+// Run implements Analyzer.
+func (a *NoDeterm) Run(p *Pass) {
+	if !a.Pkgs[p.Path] {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				a.checkCall(p, n)
+			case *ast.RangeStmt:
+				a.checkMapRange(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkCall flags direct calls into the wall clock or the globally
+// seeded math/rand.
+func (a *NoDeterm) checkCall(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgPath, ok := importedPackage(p, sel.X)
+	if !ok {
+		return
+	}
+	switch pkgPath {
+	case "time":
+		if wallClockFuncs[sel.Sel.Name] {
+			p.Reportf(call.Pos(), "time.%s in deterministic package %s: inject a clock (func() time.Time field defaulting to time.Now) instead", sel.Sel.Name, p.Path)
+		}
+	case "math/rand", "math/rand/v2":
+		if !seededRandCtors[sel.Sel.Name] {
+			p.Reportf(call.Pos(), "global rand.%s in deterministic package %s: use an explicitly seeded *rand.Rand", sel.Sel.Name, p.Path)
+		}
+	}
+}
+
+// checkMapRange flags map iterations whose body appends to a slice —
+// the iteration order leaks into ordered output, which breaks
+// reproducibility. Commutative uses (sums, map-to-map copies) pass.
+func (a *NoDeterm) checkMapRange(p *Pass, rng *ast.RangeStmt) {
+	tv, ok := p.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if obj, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && obj.Name() == "append" {
+				p.Reportf(call.Pos(), "append inside a map iteration in deterministic package %s: map order leaks into the slice; iterate sorted keys instead", p.Path)
+			}
+		}
+		return true
+	})
+}
+
+// importedPackage resolves expr to the import path of the package it
+// names, if it is a package qualifier identifier.
+func importedPackage(p *Pass, expr ast.Expr) (string, bool) {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

@@ -1,0 +1,63 @@
+// Package errcheck is a lint fixture for the error-discipline analyzer:
+// discarded errors in every statement shape, the handled counterparts,
+// and both directive placements including a stacked suppression shared
+// with goleak (TestFixtures runs both analyzers over this package and
+// puts the package itself in the PkgPaths discipline set).
+package errcheck
+
+import "fmt"
+
+// File is a minimal closer/writer with the disciplined method names.
+type File struct{ closed bool }
+
+// Close marks the file closed.
+func (f *File) Close() error { f.closed = true; return nil }
+
+// Write pretends to persist p.
+func (f *File) Write(p []byte) (int, error) { return len(p), nil }
+
+// Name returns no error and is out of scope.
+func (f *File) Name() string { return "fixture" }
+
+// Send is package-local; the whole package is in the discipline set.
+func Send(n int) error {
+	if n < 0 {
+		return fmt.Errorf("errcheck fixture: negative %d", n)
+	}
+	return nil
+}
+
+// Bad discards errors in every checked statement shape.
+func Bad(f *File) {
+	f.Close()       // want "call to f.Close silently discards"
+	defer f.Close() // want "deferred call to f.Close"
+	_ = f.Close()   // want "blank-assigned call to f.Close"
+	f.Write(nil)    // want "call to f.Write silently discards"
+	Send(1)         // want "call to Send silently discards"
+}
+
+// Good handles or propagates every error.
+func Good(f *File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	n, err := f.Write([]byte("x"))
+	_ = n
+	f.Name()
+	return err
+}
+
+// Suppressed shows both directive placements.
+func Suppressed(f *File) {
+	f.Close() //lint:allow errcheck fixture: trailing directive on the offending line
+	//lint:allow errcheck fixture: standalone directive suppressing the next line
+	f.Close()
+}
+
+// Stacked suppresses two different checks on one line with consecutive
+// standalone directives.
+func Stacked(f *File) {
+	//lint:allow errcheck fixture: the discarded error is intentional here
+	//lint:allow goleak fixture: goroutine lifetime equals the fixture scenario
+	go func() { _ = f.Close() }()
+}

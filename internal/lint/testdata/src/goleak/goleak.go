@@ -1,0 +1,55 @@
+// Package goleak is a lint fixture for the goroutine-join analyzer:
+// opaque and unjoined launches, each accepted completion signal, and a
+// suppressed case.
+package goleak
+
+import "sync"
+
+func work() {}
+
+// Opaque launches a goroutine whose body is not visible at the launch
+// site.
+func Opaque() {
+	go work() // want "not visible here"
+}
+
+// Unjoined has no completion signal at all.
+func Unjoined() {
+	go func() { // want "no visible completion signal"
+		work()
+	}()
+}
+
+// WaitGrouped signals through wg.Done.
+func WaitGrouped(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// ChannelSend signals by delivering its result.
+func ChannelSend() <-chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	return ch
+}
+
+// Closes signals by closing the done channel.
+func Closes() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// Suppressed documents why the goroutine is not joined.
+func Suppressed() {
+	//lint:allow goleak fixture: the unjoined goroutine is the case under test
+	go func() { work() }()
+}

@@ -1,0 +1,59 @@
+// Package nilsafe is a lint fixture for the nil-receiver analyzer. The
+// type names deliberately mirror the obs handle set (TestFixtures points
+// the analyzer's PkgPath at this package).
+package nilsafe
+
+// Counter mimics an obs handle: a nil *Counter must be a no-op.
+type Counter struct{ n int64 }
+
+// Inc has the canonical guard-first shape.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Enabled short-circuits on the nil comparison in its leading return.
+func (c *Counter) Enabled() bool { return c != nil && c.n > 0 }
+
+// Twice only delegates to other (nil-safe) methods of the receiver.
+func (c *Counter) Twice() {
+	c.Inc()
+	c.Inc()
+}
+
+// Bad dereferences the receiver with no guard.
+func (c *Counter) Bad() int64 { // want "must handle a nil receiver first"
+	return c.n
+}
+
+// LateGuard reads the receiver before guarding it.
+func (c *Counter) LateGuard() int64 { // want "must handle a nil receiver first"
+	v := c.n
+	if c == nil {
+		return 0
+	}
+	return v
+}
+
+// reset is unexported and out of scope.
+func (c *Counter) reset() { c.n = 0 }
+
+// Gauge methods use a value receiver; nil cannot reach them.
+type Gauge struct{ v int64 }
+
+// Value is out of scope (value receiver).
+func (g Gauge) Value() int64 { return g.v }
+
+// Plain is not an obs handle name and is out of scope entirely.
+type Plain struct{ n int64 }
+
+// Bump would be a violation on a handle type.
+func (p *Plain) Bump() { p.n++ }
+
+// Logger carries the suppressed case.
+type Logger struct{ lines int }
+
+//lint:allow nilsafe fixture: the missing guard is the case under test
+func (l *Logger) Log() { l.lines++ }

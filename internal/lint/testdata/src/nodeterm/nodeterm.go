@@ -1,0 +1,54 @@
+// Package nodeterm is a lint fixture for the determinism analyzer: the
+// forbidden wall-clock and global-rand calls, the sanctioned
+// injectable-clock and seeded-rand idioms, and map iteration feeding
+// ordered versus commutative output.
+package nodeterm
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// DefaultClock references time.Now as a value — the injectable-clock
+// default idiom the analyzer must keep allowing.
+var DefaultClock func() time.Time = time.Now
+
+// Bad reads the wall clock and the process-seeded generator directly.
+func Bad(t time.Time) {
+	_ = time.Now()    // want "time.Now in deterministic package"
+	_ = time.Since(t) // want "time.Since in deterministic package"
+	_ = rand.Intn(10) // want "global rand.Intn"
+}
+
+// Good sticks to injected values and explicitly seeded generators.
+func Good(t, u time.Time, r *rand.Rand) float64 {
+	_ = t.Sub(u)
+	seeded := rand.New(rand.NewSource(42))
+	return float64(seeded.Intn(10)) + r.Float64()
+}
+
+// OrderedOutput leaks map iteration order into a slice.
+func OrderedOutput(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append inside a map iteration"
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CommutativeFold is order-insensitive and passes.
+func CommutativeFold(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Suppressed documents an intentional wall-clock read.
+func Suppressed() time.Time {
+	//lint:allow nodeterm fixture: the wall-clock read is the case under test
+	return time.Now()
+}

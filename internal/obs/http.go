@@ -18,16 +18,19 @@ import (
 // The handler is safe to serve while the pipeline is running; snapshots
 // and trace exports never block metric or span recording for long.
 func (o *Obs) Handler() http.Handler {
+	if o == nil {
+		o = &Obs{} // nil handles degrade to empty snapshots, not panics
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := o.Metrics.Snapshot()
 		if r.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
-			w.Write(snap.JSON())
+			writeBody(w, snap.JSON())
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte(snap.Text()))
+		writeBody(w, []byte(snap.Text()))
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		traces := o.Trace.Traces()
@@ -41,7 +44,7 @@ func (o *Obs) Handler() http.Handler {
 		if err != nil {
 			data = []byte("[]")
 		}
-		w.Write(data)
+		writeBody(w, data)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -49,4 +52,11 @@ func (o *Obs) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// writeBody sends an already-assembled response body on a debug
+// endpoint.
+func writeBody(w http.ResponseWriter, body []byte) {
+	//lint:allow errcheck the debug sidecar is best-effort: a failed write means the scraper disconnected and there is no caller to surface the error to
+	_, _ = w.Write(body)
 }

@@ -171,10 +171,10 @@ func (h *Histogram) Quantile(p float64) float64 {
 
 // Stats summarizes the histogram for snapshots.
 func (h *Histogram) Stats() HistogramStats {
-	st := HistogramStats{}
 	if h == nil {
-		return st
+		return HistogramStats{}
 	}
+	st := HistogramStats{}
 	st.Count = h.count.Load()
 	if st.Count == 0 {
 		return st
@@ -298,13 +298,17 @@ type Snapshot struct {
 
 // Snapshot copies the current value of every registered metric.
 func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{
+			Counters:   map[string]int64{},
+			Gauges:     map[string]int64{},
+			Histograms: map[string]HistogramStats{},
+		}
+	}
 	s := Snapshot{
 		Counters:   map[string]int64{},
 		Gauges:     map[string]int64{},
 		Histograms: map[string]HistogramStats{},
-	}
-	if r == nil {
-		return s
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()

@@ -107,6 +107,7 @@ func (c *Client) reconnect() error {
 		return errors.New("transport: connection broken and no Redial configured")
 	}
 	if cl, ok := c.conn.(io.Closer); ok {
+		//lint:allow errcheck the conn is already known broken; closing is best-effort unwinding and the caller is about to redial
 		cl.Close()
 	}
 	conn, err := c.Redial()
@@ -130,6 +131,7 @@ func (c *Client) attempt(op byte, arg uint32, timeout time.Duration) ([]byte, er
 	if timeout > 0 {
 		if d, ok := c.conn.(readDeadliner); ok {
 			if err := d.SetReadDeadline(time.Now().Add(timeout)); err == nil {
+				//lint:allow errcheck clearing a deadline can only fail on a conn that is already broken, which the exchange itself reports
 				defer d.SetReadDeadline(time.Time{})
 			}
 		}

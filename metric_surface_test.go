@@ -1,0 +1,36 @@
+package dcsr_test
+
+import (
+	"testing"
+
+	"dcsr/internal/lint"
+)
+
+// TestMetricSurfaceStatic pins the documented metric table to the code
+// without running anything: the set of names appearing as compile-time
+// constants at obs constructor call sites anywhere in the module must
+// equal the docs/OPERATIONS.md table in both directions. Unlike
+// TestOperationsDocMetrics this covers metrics that only rare code paths
+// register at runtime, and it is cheap enough to run in short mode.
+func TestMetricSurfaceStatic(t *testing.T) {
+	docs, err := lint.DocMetricNames(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := lint.ModuleMetricNames(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	constructed := map[string]bool{}
+	for _, n := range names {
+		constructed[n] = true
+		if !docs[n] {
+			t.Errorf("metric %s is constructed in code but missing from docs/OPERATIONS.md", n)
+		}
+	}
+	for n := range docs {
+		if !constructed[n] {
+			t.Errorf("docs/OPERATIONS.md documents %s but no code constructs it with a literal name", n)
+		}
+	}
+}

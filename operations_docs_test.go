@@ -3,8 +3,6 @@ package dcsr_test
 import (
 	"io"
 	"net"
-	"os"
-	"regexp"
 	"sort"
 	"testing"
 	"time"
@@ -12,6 +10,7 @@ import (
 	"dcsr/internal/core"
 	"dcsr/internal/edsr"
 	"dcsr/internal/faultnet"
+	"dcsr/internal/lint"
 	"dcsr/internal/obs"
 	"dcsr/internal/splitter"
 	"dcsr/internal/transport"
@@ -19,37 +18,22 @@ import (
 	"dcsr/internal/video"
 )
 
-// opsMetricRow matches a metric row of the docs/OPERATIONS.md tables:
-// a table cell whose entire content is one backticked lower_snake name.
-// Rows documenting Go identifiers (RetryPolicy fields etc.) contain
-// uppercase and don't match.
-var opsMetricRow = regexp.MustCompile("^\\| `([a-z0-9_]+)` \\|")
-
 // TestOperationsDocMetrics pins docs/OPERATIONS.md to the code: the set
 // of metric names the documentation tabulates must equal — in both
 // directions — the set of names a full pipeline run registers. The run
 // covers prepare, local playback, a TCP serve with fault injection
 // (drops, a timeout, degraded model fetches), a not-found request and an
-// unknown opcode, so every stable metric is registered.
+// unknown opcode, so every stable metric is registered. The documented
+// set comes from the same parser the lint pass uses (lint.DocMetricNames),
+// so this test, dcsr-lint, and TestMetricSurfaceStatic can never disagree
+// about what the table says.
 func TestOperationsDocMetrics(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains the pipeline; skipped in short mode")
 	}
-	raw, err := os.ReadFile("docs/OPERATIONS.md")
+	documented, err := lint.DocMetricNames(".")
 	if err != nil {
 		t.Fatal(err)
-	}
-	documented := map[string]bool{}
-	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(raw), -1) {
-		if m := opsMetricRow.FindStringSubmatch(line); m != nil {
-			if documented[m[1]] {
-				t.Errorf("docs/OPERATIONS.md documents %s twice", m[1])
-			}
-			documented[m[1]] = true
-		}
-	}
-	if len(documented) == 0 {
-		t.Fatal("no metric rows parsed from docs/OPERATIONS.md")
 	}
 
 	// One shared bundle across every stage, so the snapshot at the end is
