@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint test bench
+.PHONY: verify build vet lint test bench bench-all
 
 # The experiments package trains real models and takes well over the
 # default 10m per-package limit under race instrumentation; the longer
@@ -26,6 +26,18 @@ lint:
 test:
 	$(GO) test ./...
 
-# Full evaluation-scale benchmark suite (minutes).
+# Perf-trajectory benchmarks: the tensor kernels, the alloc-free
+# Enhance path, and the paper's Fig 8 FPS sweep, all with allocation
+# stats. Also emits BENCH_kernels.json (machine-readable ns/op, B/op,
+# allocs/op, FPS rows) via dcsr-bench so runs can be diffed across
+# checkouts on one machine.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench 'BenchmarkGEMM|BenchmarkConv2DInfer|BenchmarkIm2col' -benchmem ./internal/tensor/
+	$(GO) test -run '^$$' -bench 'BenchmarkEnhance(270|540)p|BenchmarkForwardInference' -benchmem ./internal/edsr/
+	$(GO) test -run '^$$' -bench 'BenchmarkFig8' -benchmem .
+	$(GO) run ./cmd/dcsr-bench -only kernels -json BENCH_kernels.json
+
+# Full evaluation-scale benchmark suite (minutes), including the 1080p
+# Enhance benchmark.
+bench-all:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

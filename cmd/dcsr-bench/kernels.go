@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dcsr/internal/edsr"
+	"dcsr/internal/tensor"
+	"dcsr/internal/video"
+)
+
+// kernelResult is one row of the kernel-benchmark report: a named
+// microbenchmark with its steady-state cost and allocation profile.
+// These rows are the perf trajectory the repo accumulates across PRs —
+// compare BENCH_kernels.json files from two checkouts on one machine.
+type kernelResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	FPS         float64 `json:"fps,omitempty"` // frames/s, for whole-frame benches
+}
+
+func toResult(name string, r testing.BenchmarkResult, wholeFrame bool) kernelResult {
+	kr := kernelResult{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if wholeFrame && r.NsPerOp() > 0 {
+		kr.FPS = 1e9 / float64(r.NsPerOp())
+	}
+	return kr
+}
+
+func genKernelFrame(w, h int) *video.RGB {
+	clip := video.Generate(video.GenConfig{W: w, H: h, Seed: 3, NumScenes: 1, TotalCues: 1, MinFrames: 1, MaxFrames: 1})
+	return clip.Frames()[0]
+}
+
+// runKernelBenches measures the compute-layer hot paths: the blocked
+// GEMM at the dcSR-1 body-conv shape, the fused banded convolution, and
+// whole-frame Enhance at two decoder resolutions.
+func runKernelBenches() ([]kernelResult, error) {
+	rng := rand.New(rand.NewSource(1))
+	var out []kernelResult
+
+	// GEMM at the body-conv shape: (16×144) × (144×129600).
+	const m, k, n = 16, 144, 480 * 270
+	a := make([]float32, m*k)
+	bm := make([]float32, k*n)
+	for i := range a {
+		a[i] = float32(rng.NormFloat64())
+	}
+	for i := range bm {
+		bm[i] = float32(rng.NormFloat64())
+	}
+	o := make([]float32, m*n)
+	out = append(out, toResult("matmul_body270p", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tensor.MatMul(a, bm, o, m, k, n)
+		}
+	}), false))
+
+	// Fused conv+bias+ReLU through the banded inference path.
+	spec := tensor.ConvSpec{InC: 16, OutC: 16, K: 3, Stride: 1, Pad: 1}
+	x := tensor.New(1, 16, 270, 480)
+	x.Randn(rng, 1)
+	wt := tensor.New(16, 16, 3, 3)
+	wt.Randn(rng, 0.1)
+	bias := tensor.New(16)
+	conv := tensor.Conv2DInfer(x, wt, bias, spec, true, nil)
+	out = append(out, toResult("conv_infer_body270p", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			conv = tensor.Conv2DInfer(x, wt, bias, spec, true, conv)
+		}
+	}), false))
+
+	// Whole-frame enhancement on the inference fast path.
+	for _, res := range []struct {
+		name string
+		w, h int
+	}{{"enhance_270p", 480, 270}, {"enhance_540p", 960, 540}} {
+		model, err := edsr.New(edsr.ConfigDCSR1, 1)
+		if err != nil {
+			return nil, err
+		}
+		f := genKernelFrame(res.w, res.h)
+		model.Enhance(f) // warm the reusable buffers
+		out = append(out, toResult(res.name, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				model.Enhance(f)
+			}
+		}), true))
+	}
+	return out, nil
+}
+
+// printKernelTable renders the rows in the experiment-table style.
+func printKernelTable(rows []kernelResult) {
+	fmt.Printf("%-22s %14s %12s %12s %10s\n", "kernel", "ns/op", "B/op", "allocs/op", "FPS")
+	for _, r := range rows {
+		fps := "-"
+		if r.FPS > 0 {
+			fps = fmt.Sprintf("%.2f", r.FPS)
+		}
+		fmt.Printf("%-22s %14d %12d %12d %10s\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, fps)
+	}
+	fmt.Println()
+}

@@ -35,6 +35,7 @@ type jsonReport struct {
 	Fast        bool             `json:"fast"`
 	Only        string           `json:"only,omitempty"`
 	Experiments []jsonExperiment `json:"experiments"`
+	Kernels     []kernelResult   `json:"kernels,omitempty"`
 	Metrics     obs.Snapshot     `json:"metrics"`
 }
 
@@ -64,6 +65,8 @@ func main() {
 		cfg.BigSteps = 250
 		cfg.Genres = []video.Genre{video.GenreNews, video.GenreSports}
 	}
+
+	var kernelRows []kernelResult
 
 	var fig9 *experiments.Fig9Result
 	getFig9 := func() *experiments.Fig9Result {
@@ -153,6 +156,15 @@ func main() {
 			}
 			fmt.Println(t)
 		}},
+		{"kernels", "tensor kernel + Enhance microbenchmarks (ns/op, allocs, FPS)", func(experiments.EvalConfig) {
+			rows, err := runKernelBenches()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcsr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			kernelRows = rows
+			printKernelTable(rows)
+		}},
 		{"ablations", "VAE features / global k-means / split / propagation ablations", func(c experiments.EvalConfig) {
 			t1, _ := experiments.AblationFeatures(c)
 			fmt.Println(t1)
@@ -202,6 +214,7 @@ func main() {
 		})
 	}
 	if *jsonOut != "" {
+		report.Kernels = kernelRows
 		report.Metrics = cfg.Obs.Metrics.Snapshot()
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"math"
+
+	"dcsr/internal/tensor"
 )
 
 // Silhouette returns the mean silhouette coefficient of a clustering: for
@@ -26,37 +28,53 @@ func Silhouette(points [][]float64, assign []int, k int) (float64, error) {
 		}
 		sizes[a]++
 	}
+	// The O(n²) pairwise-distance loop dominates SelectK on large
+	// corpora, so points are scored in parallel: each worker writes
+	// contrib[i] for a disjoint index range (a per-point value that does
+	// not depend on how the ranges are chunked), and the final reduction
+	// runs sequentially in ascending point order — so the result is
+	// bit-identical to the serial loop regardless of worker count or
+	// scheduling.
+	contrib := make([]float64, n)
+	tensor.ParallelFor(n, func(lo, hi int) {
+		sums := make([]float64, k) // per-worker scratch, reused across points
+		for i := lo; i < hi; i++ {
+			ci := assign[i]
+			if sizes[ci] <= 1 {
+				continue // s(i) = 0
+			}
+			// Mean distance to every cluster.
+			for c := range sums {
+				sums[c] = 0
+			}
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				sums[assign[j]] += math.Sqrt(sqDist(points[i], points[j]))
+			}
+			a := sums[ci] / float64(sizes[ci]-1)
+			b := math.Inf(1)
+			for c := 0; c < k; c++ {
+				if c == ci || sizes[c] == 0 {
+					continue
+				}
+				if m := sums[c] / float64(sizes[c]); m < b {
+					b = m
+				}
+			}
+			if math.IsInf(b, 1) {
+				continue
+			}
+			den := math.Max(a, b)
+			if den > 0 {
+				contrib[i] = (b - a) / den
+			}
+		}
+	})
 	var total float64
-	for i := 0; i < n; i++ {
-		ci := assign[i]
-		if sizes[ci] <= 1 {
-			continue // s(i) = 0
-		}
-		// Mean distance to every cluster.
-		sums := make([]float64, k)
-		for j := 0; j < n; j++ {
-			if j == i {
-				continue
-			}
-			sums[assign[j]] += math.Sqrt(sqDist(points[i], points[j]))
-		}
-		a := sums[ci] / float64(sizes[ci]-1)
-		b := math.Inf(1)
-		for c := 0; c < k; c++ {
-			if c == ci || sizes[c] == 0 {
-				continue
-			}
-			if m := sums[c] / float64(sizes[c]); m < b {
-				b = m
-			}
-		}
-		if math.IsInf(b, 1) {
-			continue
-		}
-		den := math.Max(a, b)
-		if den > 0 {
-			total += (b - a) / den
-		}
+	for _, s := range contrib {
+		total += s
 	}
 	return total / float64(n), nil
 }

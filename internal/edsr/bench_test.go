@@ -1,0 +1,51 @@
+package edsr
+
+import (
+	"fmt"
+	"testing"
+
+	"dcsr/internal/video"
+)
+
+// benchEnhance measures steady-state single-frame enhancement (the
+// decoder-loop hot path) for dcSR-1 at a given input resolution.
+func benchEnhance(b *testing.B, w, h int) {
+	m, err := New(ConfigDCSR1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clip := video.Generate(video.GenConfig{W: w, H: h, Seed: 3, NumScenes: 1, TotalCues: 1, MinFrames: 1, MaxFrames: 1})
+	f := clip.Frames()[0]
+	m.Enhance(f) // warm buffers so the loop measures steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Enhance(f)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+func BenchmarkEnhance270p(b *testing.B)  { benchEnhance(b, 480, 270) }
+func BenchmarkEnhance540p(b *testing.B)  { benchEnhance(b, 960, 540) }
+func BenchmarkEnhance1080p(b *testing.B) { benchEnhance(b, 1920, 1080) }
+
+// BenchmarkForwardInference pins the cost of the no-grad tensor-to-tensor
+// path on a small frame across model widths.
+func BenchmarkForwardInference(b *testing.B) {
+	for _, nf := range []int{8, 16} {
+		b.Run(fmt.Sprintf("nf%d", nf), func(b *testing.B) {
+			m, err := New(Config{Filters: nf, ResBlocks: 4}, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clip := video.Generate(video.GenConfig{W: 192, H: 108, Seed: 3, NumScenes: 1, TotalCues: 1, MinFrames: 1, MaxFrames: 1})
+			x := ToTensor(clip.Frames()[0])
+			m.ForwardInference(x)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.ForwardInference(x)
+			}
+		})
+	}
+}

@@ -84,6 +84,11 @@ type Model struct {
 	bodyConv *nn.Conv2D
 	ups      []upStage
 	tail     *nn.Conv2D
+
+	// Reusable inference buffers (input conversion and nearest-neighbor
+	// baseline), so steady-state Enhance allocates nothing per frame.
+	in    *tensor.Tensor
+	upBuf *tensor.Tensor
 }
 
 // New builds an EDSR model with weights initialized from seed.
@@ -118,8 +123,14 @@ func New(cfg Config, seed int64) (*Model, error) {
 
 // upsampleNearest repeats each input sample s× in both dimensions.
 func upsampleNearest(x *tensor.Tensor, s int) *tensor.Tensor {
+	return upsampleNearestInto(x, s, nil)
+}
+
+// upsampleNearestInto is upsampleNearest writing into a reusable buffer
+// (grown via Ensure; pass nil to allocate).
+func upsampleNearestInto(x *tensor.Tensor, s int, out *tensor.Tensor) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	out := tensor.New(n, c, h*s, w*s)
+	out = tensor.Ensure(out, n, c, h*s, w*s)
 	for nc := 0; nc < n*c; nc++ {
 		src := x.Data[nc*h*w : (nc+1)*h*w]
 		dst := out.Data[nc*h*s*w*s : (nc+1)*h*s*w*s]
@@ -203,6 +214,34 @@ func (m *Model) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// ForwardInference runs the network on the no-grad fast path: fused
+// conv+bias+ReLU kernels, banded im2col through pooled scratch, and
+// layer-owned output buffers, so no activations or column matrices are
+// retained and steady-state calls allocate nothing. The output is
+// bitwise identical to Forward. The returned tensor is owned by the
+// model and valid until the next ForwardInference call.
+func (m *Model) ForwardInference(x *tensor.Tensor) *tensor.Tensor {
+	h := m.head.ForwardInference(x)
+	b := h
+	for _, blk := range m.body {
+		b = blk.ForwardInference(b)
+	}
+	b = m.bodyConv.ForwardInference(b)
+	b.AddInPlace(h) // global skip (h is head's buffer, untouched since)
+	for _, u := range m.ups {
+		b = u.conv.ForwardInference(b)
+		b = u.shuffle.ForwardInference(b)
+	}
+	out := m.tail.ForwardInference(b)
+	if m.Cfg.Scale == 1 {
+		out.AddInPlace(x) // global image residual (identity at init)
+	} else {
+		m.upBuf = upsampleNearestInto(x, m.Cfg.Scale, m.upBuf)
+		out.AddInPlace(m.upBuf)
+	}
+	return out
+}
+
 // Backward propagates the loss gradient, accumulating parameter gradients.
 func (m *Model) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	g := m.tail.Backward(gy)
@@ -228,7 +267,13 @@ func (m *Model) Backward(gy *tensor.Tensor) *tensor.Tensor {
 // ToTensor converts an RGB frame into a normalized (1, 3, H, W) tensor in
 // [−0.5, 0.5].
 func ToTensor(f *video.RGB) *tensor.Tensor {
-	t := tensor.New(1, 3, f.H, f.W)
+	return toTensorInto(f, nil)
+}
+
+// toTensorInto is ToTensor writing into a reusable tensor (grown via
+// Ensure; pass nil to allocate).
+func toTensorInto(f *video.RGB, t *tensor.Tensor) *tensor.Tensor {
+	t = tensor.Ensure(t, 1, 3, f.H, f.W)
 	for c := 0; c < 3; c++ {
 		plane := t.Data[c*f.H*f.W : (c+1)*f.H*f.W]
 		for i := 0; i < f.W*f.H; i++ {
@@ -258,9 +303,13 @@ func FromTensor(t *tensor.Tensor) *video.RGB {
 	return f
 }
 
-// Enhance super-resolves one RGB frame.
+// Enhance super-resolves one RGB frame. It runs on the inference fast
+// path: after the first call on a given frame size the model reuses its
+// internal buffers, so the per-frame steady-state cost is the kernels
+// plus one output RGB allocation.
 func (m *Model) Enhance(low *video.RGB) *video.RGB {
-	return FromTensor(m.Forward(ToTensor(low)))
+	m.in = toTensorInto(low, m.in)
+	return FromTensor(m.ForwardInference(m.in))
 }
 
 // EnhanceYUV performs the client-side dcSR conversion chain of paper Fig 6:

@@ -1,0 +1,5 @@
+//go:build race
+
+package edsr
+
+const raceEnabled = true

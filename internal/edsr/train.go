@@ -127,7 +127,7 @@ func copyPatch(t *tensor.Tensor, b int, f *video.RGB, px, py, ps int) {
 func (m *Model) EvalMSE(pairs []Pair) float64 {
 	var sum float64
 	for _, p := range pairs {
-		pred := m.Forward(ToTensor(p.Low))
+		pred := m.ForwardInference(ToTensor(p.Low))
 		loss, _ := nn.MSELoss(pred, ToTensor(p.High))
 		sum += loss * 255 * 255
 	}

@@ -7,8 +7,11 @@
 // The design mirrors the classic define-by-stack style: a Layer owns its
 // parameters and caches whatever it needs during Forward to compute
 // Backward. Networks here are small (dcSR micro models are 4–16 residual
-// blocks of ≤16 filters), so clarity is favored over fusion tricks; the
-// heavy lifting (im2col convolutions) lives in internal/tensor.
+// blocks of ≤16 filters); the heavy lifting (im2col convolutions, blocked
+// GEMM kernels) lives in internal/tensor. Alongside the training pair
+// every Layer exposes ForwardInference, a no-grad path that fuses
+// conv+bias+ReLU, reuses layer-owned output buffers, and retains no
+// column buffers — the decoder hot loop runs entirely on it.
 package nn
 
 import (
@@ -38,8 +41,17 @@ func (p *Param) ZeroGrad() { p.Grad.Zero() }
 // accumulating parameter gradients along the way. A Layer is stateful
 // between a Forward and the matching Backward (it caches activations), so a
 // single Layer instance must not be used concurrently.
+//
+// ForwardInference is the no-grad fast path: it produces the same bits
+// as Forward but caches nothing for Backward, reuses a layer-owned
+// output buffer across calls (so steady-state inference allocates
+// nothing), and may modify x in place. The returned tensor is owned by
+// the layer and valid until its next ForwardInference call; callers
+// needing to retain it must Clone. Do not interleave ForwardInference
+// between a Forward and its matching Backward.
 type Layer interface {
 	Forward(x *tensor.Tensor) *tensor.Tensor
+	ForwardInference(x *tensor.Tensor) *tensor.Tensor
 	Backward(gy *tensor.Tensor) *tensor.Tensor
 	Params() []*Param
 }
@@ -52,6 +64,7 @@ type Conv2D struct {
 
 	x    *tensor.Tensor
 	cols [][]float32
+	out  *tensor.Tensor // reusable inference output
 }
 
 // NewConv2D creates a KxK convolution from inC to outC channels with the
@@ -73,6 +86,21 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	out, cols := tensor.Conv2DForward(x, c.Wt.W, c.Bias.W, c.Spec)
 	c.cols = cols
 	return out
+}
+
+// ForwardInference applies the convolution without retaining column
+// buffers, writing into the layer's reusable output tensor.
+func (c *Conv2D) ForwardInference(x *tensor.Tensor) *tensor.Tensor {
+	c.out = tensor.Conv2DInfer(x, c.Wt.W, c.Bias.W, c.Spec, false, c.out)
+	return c.out
+}
+
+// ForwardInferenceReLU is ForwardInference with the ReLU activation
+// fused into the convolution epilogue, bitwise identical to a separate
+// ReLU pass over the same output.
+func (c *Conv2D) ForwardInferenceReLU(x *tensor.Tensor) *tensor.Tensor {
+	c.out = tensor.Conv2DInfer(x, c.Wt.W, c.Bias.W, c.Spec, true, c.out)
+	return c.out
 }
 
 // Backward propagates gy through the convolution.
@@ -108,6 +136,16 @@ func (r *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// ForwardInference clamps negatives to zero in place (no mask is kept).
+func (r *ReLU) ForwardInference(x *tensor.Tensor) *tensor.Tensor {
+	for i, v := range x.Data {
+		if v < 0 {
+			x.Data[i] = 0
+		}
+	}
+	return x
+}
+
 // Backward zeroes gradients where the input was negative.
 func (r *ReLU) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	gx := gy.Clone()
@@ -128,6 +166,8 @@ type ResBlock struct {
 	Conv1, Conv2 *Conv2D
 	Act          *ReLU
 	ResScale     float32
+
+	out *tensor.Tensor // reusable inference output
 }
 
 // NewResBlock builds a residual block over nf feature maps with 3×3 convs.
@@ -152,6 +192,18 @@ func (b *ResBlock) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// ForwardInference runs the block with the first conv's ReLU fused into
+// its epilogue and the residual add written into a reusable buffer.
+func (b *ResBlock) ForwardInference(x *tensor.Tensor) *tensor.Tensor {
+	h := b.Conv1.ForwardInferenceReLU(x)
+	h = b.Conv2.ForwardInference(h)
+	b.out = tensor.Ensure(b.out, x.Shape...)
+	for i, v := range h.Data {
+		b.out.Data[i] = x.Data[i] + b.ResScale*v
+	}
+	return b.out
+}
+
 // Backward splits the gradient across the residual and identity paths.
 func (b *ResBlock) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	gBranch := gy.Clone()
@@ -173,18 +225,41 @@ func (b *ResBlock) Params() []*Param {
 type PixelShuffle struct {
 	R     int
 	shape []int
+	out   *tensor.Tensor // reusable inference output
 }
 
 // Forward performs the depth-to-space rearrangement.
 func (p *PixelShuffle) Forward(x *tensor.Tensor) *tensor.Tensor {
+	p.shape = x.Shape
+	out := tensor.New(p.outShape(x)...)
+	p.shuffleInto(x, out)
+	return out
+}
+
+// ForwardInference performs the same rearrangement into a reusable
+// buffer and keeps no state for Backward.
+func (p *PixelShuffle) ForwardInference(x *tensor.Tensor) *tensor.Tensor {
+	p.out = tensor.Ensure(p.out, p.outShape(x)...)
+	p.shuffleInto(x, p.out)
+	return p.out
+}
+
+// outShape validates the channel count and returns the (N, C/r², H·r,
+// W·r) output shape.
+func (p *PixelShuffle) outShape(x *tensor.Tensor) []int {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	r := p.R
 	if c%(r*r) != 0 {
 		panic("nn: PixelShuffle channel count not divisible by r²")
 	}
-	p.shape = x.Shape
+	return []int{n, c / (r * r), h * r, w * r}
+}
+
+// shuffleInto writes the depth-to-space rearrangement of x into out.
+func (p *PixelShuffle) shuffleInto(x, out *tensor.Tensor) {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	r := p.R
 	oc := c / (r * r)
-	out := tensor.New(n, oc, h*r, w*r)
 	for ni := 0; ni < n; ni++ {
 		for co := 0; co < oc; co++ {
 			for dy := 0; dy < r; dy++ {
@@ -203,7 +278,6 @@ func (p *PixelShuffle) Forward(x *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	return out
 }
 
 // Backward performs the inverse space-to-depth rearrangement on gy.
@@ -242,6 +316,8 @@ type Dense struct {
 	Wt      *Param // (Out, In)
 	Bias    *Param // (Out)
 	x       *tensor.Tensor
+	gw      []float32      // reusable weight-gradient staging buffer
+	out     *tensor.Tensor // reusable inference output
 }
 
 // NewDense creates a fully connected layer, Xavier-initialized from rng.
@@ -266,11 +342,30 @@ func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
+// ForwardInference computes x·Wᵀ + b into a reusable output buffer,
+// keeping no state for Backward.
+func (d *Dense) ForwardInference(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Shape[0]
+	d.out = tensor.Ensure(d.out, n, d.Out)
+	tensor.MatMulBT(x.Data, d.Wt.W.Data, d.out.Data, n, d.In, d.Out)
+	for i := 0; i < n; i++ {
+		row := d.out.Data[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			row[j] += d.Bias.W.Data[j]
+		}
+	}
+	return d.out
+}
+
 // Backward computes input gradients and accumulates weight/bias gradients.
 func (d *Dense) Backward(gy *tensor.Tensor) *tensor.Tensor {
 	n := gy.Shape[0]
-	// gW(Out×In) += gyᵀ(N×Out)ᵀ · x(N×In)
-	gw := make([]float32, d.Out*d.In)
+	// gW(Out×In) += gyᵀ(N×Out)ᵀ · x(N×In), staged through a scratch
+	// buffer reused across steps rather than allocated per call.
+	if cap(d.gw) < d.Out*d.In {
+		d.gw = make([]float32, d.Out*d.In)
+	}
+	gw := d.gw[:d.Out*d.In]
 	tensor.MatMulAT(gy.Data, d.x.Data, gw, n, d.Out, d.In)
 	for i, v := range gw {
 		d.Wt.Grad.Data[i] += v
@@ -299,6 +394,14 @@ type Sequential struct {
 func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
 	for _, l := range s.Layers {
 		x = l.Forward(x)
+	}
+	return x
+}
+
+// ForwardInference runs all layers in order on the no-grad fast path.
+func (s *Sequential) ForwardInference(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.ForwardInference(x)
 	}
 	return x
 }

@@ -1,0 +1,29 @@
+package tensor
+
+import "sync"
+
+// The scratch arena recycles the large transient buffers the conv
+// kernels need (im2col bands, col gradients, per-batch weight-gradient
+// accumulators) through a sync.Pool, so a steady-state inference or
+// training loop stops hitting the allocator for multi-megabyte slices
+// every layer call. Buffers are handed out uninitialized: every kernel
+// that takes one either fully overwrites it or zero-initializes its own
+// output rows, so stale contents can never leak into results.
+
+var scratchPool = sync.Pool{New: func() any { return new([]float32) }}
+
+// getScratch returns a float32 scratch buffer of length n from the
+// arena. The contents are unspecified; callers must fully write the
+// buffer before reading it. Return it with putScratch when done.
+func getScratch(n int) *[]float32 {
+	p := scratchPool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// putScratch returns a buffer obtained from getScratch to the arena.
+// The caller must not retain any slice of it afterwards.
+func putScratch(p *[]float32) { scratchPool.Put(p) }

@@ -1,9 +1,6 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
+import "runtime"
 
 // ConvSpec describes a 2-D convolution: square kernel of size K with stride
 // S and zero padding P, mapping InC input channels to OutC output channels.
@@ -21,19 +18,31 @@ func (c ConvSpec) OutSize(h, w int) (oh, ow int) {
 	return oh, ow
 }
 
-// im2col expands input x (C,H,W starting at offset into x.Data given base)
-// into a column matrix of shape (C*K*K, OH*OW) stored in col.
+// im2col expands input x (C,H,W) into a column matrix of shape
+// (C*K*K, OH*OW) stored in col.
 func im2col(x []float32, c, h, w int, spec ConvSpec, col []float32) {
-	oh, ow := spec.OutSize(h, w)
+	oh, _ := spec.OutSize(h, w)
+	im2colRange(x, c, h, w, spec, 0, oh, col)
+}
+
+// im2colRange expands only output rows [oy0, oy1) of the convolution
+// into a compact column matrix of shape (C*K*K, (oy1-oy0)*OW) stored in
+// col. Banding the expansion this way keeps the scratch footprint of a
+// full-frame convolution bounded by the band size instead of the frame
+// size, which is what makes the alloc-free inference path viable at
+// 1080p (a full-frame column matrix there is over a gigabyte).
+func im2colRange(x []float32, c, h, w int, spec ConvSpec, oy0, oy1 int, col []float32) {
+	_, ow := spec.OutSize(h, w)
 	k, s, p := spec.K, spec.Stride, spec.Pad
+	bandCols := (oy1 - oy0) * ow
 	idx := 0
 	for ch := 0; ch < c; ch++ {
 		plane := x[ch*h*w : (ch+1)*h*w]
 		for ky := 0; ky < k; ky++ {
 			for kx := 0; kx < k; kx++ {
-				for oy := 0; oy < oh; oy++ {
+				for oy := oy0; oy < oy1; oy++ {
 					iy := oy*s + ky - p
-					rowBase := idx + oy*ow
+					rowBase := idx + (oy-oy0)*ow
 					if iy < 0 || iy >= h {
 						for ox := 0; ox < ow; ox++ {
 							col[rowBase+ox] = 0
@@ -50,7 +59,7 @@ func im2col(x []float32, c, h, w int, spec ConvSpec, col []float32) {
 						}
 					}
 				}
-				idx += oh * ow
+				idx += bandCols
 			}
 		}
 	}
@@ -88,82 +97,126 @@ func col2im(col []float32, c, h, w int, spec ConvSpec, x []float32) {
 
 // matmul computes out = a(m×k) * b(k×n), parallelized over rows of a.
 func matmul(a, b, out []float32, m, k, n int) {
-	parallelFor(m, func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			arow := a[i*k : (i+1)*k]
-			orow := out[i*n : (i+1)*n]
-			for j := range orow {
-				orow[j] = 0
-			}
-			for kk, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b[kk*n : (kk+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
+	parallelFor(m, func(lo, hi int) {
+		gemmRows(a, b, out, lo, hi, k, n, n, nil, false)
 	})
 }
 
-// matmulTA computes out(k×n) = aᵀ(m×k)ᵀ * b ... precisely out = aᵀ * b where
-// a is (m×k) and b is (m×n): out[kk][j] = Σ_i a[i][kk] * b[i][j].
+// matmulTA computes out = aᵀ * b where a is (m×k) and b is (m×n):
+// out[kk][j] = Σ_i a[i][kk] * b[i][j]. Parallelized over rows of out.
 func matmulTA(a, b, out []float32, m, k, n int) {
-	for i := range out {
-		out[i] = 0
-	}
-	parallelFor(k, func(k0, k1 int) {
-		for i := 0; i < m; i++ {
-			arow := a[i*k : (i+1)*k]
-			brow := b[i*n : (i+1)*n]
-			for kk := k0; kk < k1; kk++ {
-				av := arow[kk]
-				if av == 0 {
-					continue
-				}
-				orow := out[kk*n : (kk+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
+	parallelFor(k, func(lo, hi int) {
+		gemmTARows(a, b, out, lo, hi, m, k, n)
 	})
 }
 
-// parallelFor splits [0,n) across workers and blocks until all complete.
-func parallelFor(n int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+// bandFloatBudget caps the im2col scratch for one inference band, in
+// float32 elements (2^18 floats = 1 MiB). The resulting band height
+// depends only on the convolution geometry — never on GOMAXPROCS or the
+// worker schedule — so banded outputs are bit-identical across runs and
+// across machines with different core counts.
+const bandFloatBudget = 1 << 18
+
+// Conv2DInfer computes a batched 2-D convolution for inference with the
+// bias addition and (optionally) ReLU fused into the GEMM epilogue. The
+// result is written into out, which is grown/reshaped as needed via
+// Ensure and returned (pass nil to allocate on first use). Unlike
+// Conv2DForward it materializes no full-frame column matrix: the input
+// is expanded band-by-band into pooled scratch, so steady-state calls
+// allocate nothing. Outputs are bitwise identical to Conv2DForward
+// followed by separate bias and ReLU passes.
+func Conv2DInfer(x, w, b *Tensor, spec ConvSpec, relu bool, out *Tensor) *Tensor {
+	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if c != spec.InC {
+		panic("tensor: Conv2DInfer channel mismatch")
 	}
-	if workers <= 1 {
-		fn(0, n)
-		return
+	oh, ow := spec.OutSize(h, wd)
+	out = Ensure(out, n, spec.OutC, oh, ow)
+	colRows := spec.InC * spec.K * spec.K
+	band := bandFloatBudget / (colRows * ow)
+	if band < 1 {
+		band = 1
 	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	if band > oh {
+		band = oh
+	}
+	numBands := (oh + band - 1) / band
+	a := convInferArgs{
+		x: x.Data, w: w.Data, out: out.Data,
+		c: c, h: h, wd: wd, spec: spec, relu: relu,
+		oh: oh, ow: ow, band: band, colRows: colRows, numBands: numBands,
+	}
+	if b != nil {
+		a.bias = b.Data
+	}
+	if runtime.GOMAXPROCS(0) <= 1 {
+		// Closure-free serial path: with one worker the call performs
+		// zero heap allocations (the steady-state inference contract).
+		for i := 0; i < n; i++ {
+			convInferBands(a, i, 0, numBands)
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+		return out
 	}
-	wg.Wait()
+	// The closures capture a branch-local copy so `a` itself never
+	// escapes and the serial path above stays allocation-free.
+	ap := a
+	if n == 1 {
+		parallelFor(numBands, func(lo, hi int) { convInferBands(ap, 0, lo, hi) })
+	} else {
+		parallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				convInferBands(ap, i, 0, ap.numBands)
+			}
+		})
+	}
+	return out
 }
 
-// Conv2DForward computes a batched 2-D convolution.
+// convInferArgs carries the precomputed geometry of one Conv2DInfer call
+// so band execution needs no closures (a by-value struct keeps the
+// serial path allocation-free).
+type convInferArgs struct {
+	x, w, bias, out []float32
+	c, h, wd        int
+	spec            ConvSpec
+	relu            bool
+	oh, ow          int
+	band, colRows   int
+	numBands        int
+}
+
+// convInferBands runs output-row bands [lo, hi) of batch element i
+// through im2colRange and the fused GEMM, using pooled scratch.
+func convInferBands(a convInferArgs, i, lo, hi int) {
+	planeIn := a.c * a.h * a.wd
+	planeOut := a.spec.OutC * a.oh * a.ow
+	xi := a.x[i*planeIn : (i+1)*planeIn]
+	oi := a.out[i*planeOut : (i+1)*planeOut]
+	colBuf := getScratch(a.colRows * a.band * a.ow)
+	col := *colBuf
+	for bi := lo; bi < hi; bi++ {
+		oy0 := bi * a.band
+		oy1 := oy0 + a.band
+		if oy1 > a.oh {
+			oy1 = a.oh
+		}
+		bandCols := (oy1 - oy0) * a.ow
+		im2colRange(xi, a.c, a.h, a.wd, a.spec, oy0, oy1, col[:a.colRows*bandCols])
+		gemmRows(a.w, col, oi[oy0*a.ow:], 0, a.spec.OutC, a.colRows, bandCols, a.oh*a.ow, a.bias, a.relu)
+	}
+	putScratch(colBuf)
+}
+
+// Conv2DForward computes a batched 2-D convolution for training.
 //
 //	x: (N, InC, H, W),  w: (OutC, InC, K, K),  b: (OutC) or nil
 //
 // It returns the output (N, OutC, OH, OW) and the im2col buffers for each
 // batch element, which the backward pass reuses to avoid recomputation.
+// The bias is fused into the GEMM epilogue; batch elements run in
+// parallel (single-element batches parallelize over output channels
+// instead). Use Conv2DInfer on the inference path — it skips the column
+// buffers entirely.
 func Conv2DForward(x, w, b *Tensor, spec ConvSpec) (out *Tensor, cols [][]float32) {
 	n, c, h, wd := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	if c != spec.InC {
@@ -174,44 +227,48 @@ func Conv2DForward(x, w, b *Tensor, spec ConvSpec) (out *Tensor, cols [][]float3
 	colRows := spec.InC * spec.K * spec.K
 	colCols := oh * ow
 	cols = make([][]float32, n)
-	for i := 0; i < n; i++ {
-		col := make([]float32, colRows*colCols)
-		im2col(x.Data[i*c*h*wd:(i+1)*c*h*wd], c, h, wd, spec, col)
-		cols[i] = col
-		// out_i (OutC × OH*OW) = W(OutC × colRows) * col(colRows × colCols)
-		matmul(w.Data, col, out.Data[i*spec.OutC*colCols:(i+1)*spec.OutC*colCols], spec.OutC, colRows, colCols)
-	}
+	var bias []float32
 	if b != nil {
-		for i := 0; i < n; i++ {
-			for oc := 0; oc < spec.OutC; oc++ {
-				bias := b.Data[oc]
-				plane := out.Data[(i*spec.OutC+oc)*colCols : (i*spec.OutC+oc+1)*colCols]
-				for j := range plane {
-					plane[j] += bias
-				}
-			}
-		}
+		bias = b.Data
 	}
+	if n == 1 {
+		col := make([]float32, colRows*colCols)
+		im2col(x.Data, c, h, wd, spec, col)
+		cols[0] = col
+		parallelFor(spec.OutC, func(lo, hi int) {
+			gemmRows(w.Data, col, out.Data, lo, hi, colRows, colCols, colCols, bias, false)
+		})
+		return out, cols
+	}
+	parallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			col := make([]float32, colRows*colCols)
+			im2col(x.Data[i*c*h*wd:(i+1)*c*h*wd], c, h, wd, spec, col)
+			cols[i] = col
+			gemmRows(w.Data, col, out.Data[i*spec.OutC*colCols:], 0, spec.OutC, colRows, colCols, colCols, bias, false)
+		}
+	})
 	return out, cols
 }
 
 // Conv2DBackward computes gradients for a convolution given the upstream
 // gradient gy (N, OutC, OH, OW), the saved im2col buffers, the input shape,
 // and the weights. It returns gradX and accumulates into gw and gb (which
-// must be pre-allocated to the weight/bias shapes).
+// must be pre-allocated to the weight/bias shapes). The per-batch column
+// gradient and weight-gradient staging buffers come from the scratch
+// arena, so repeated training steps do not re-allocate them.
 func Conv2DBackward(gy *Tensor, cols [][]float32, xShape []int, w, gw, gb *Tensor, spec ConvSpec) (gx *Tensor) {
 	n, c, h, wd := xShape[0], xShape[1], xShape[2], xShape[3]
 	oh, ow := spec.OutSize(h, wd)
 	colRows := spec.InC * spec.K * spec.K
 	colCols := oh * ow
 	gx = New(n, c, h, wd)
-	gcol := make([]float32, colRows*colCols)
-	gwTmp := make([]float32, len(gw.Data))
+	gcolBuf := getScratch(colRows * colCols)
+	gwBuf := getScratch(len(gw.Data))
+	gcol, gwTmp := *gcolBuf, *gwBuf
 	for i := 0; i < n; i++ {
 		gyi := gy.Data[i*spec.OutC*colCols : (i+1)*spec.OutC*colCols]
-		// gw += gy_i (OutC × colCols) * col_iᵀ (colCols × colRows)
-		// computed as matmulATB over transposed operands:
-		// gw[oc][r] = Σ_j gy[oc][j] * col[r][j]
+		// gw[oc][r] += Σ_j gy[oc][j] * col[r][j]
 		convGradWeights(gyi, cols[i], gwTmp, spec.OutC, colRows, colCols)
 		for j, v := range gwTmp {
 			gw.Data[j] += v
@@ -230,22 +287,15 @@ func Conv2DBackward(gy *Tensor, cols [][]float32, xShape []int, w, gw, gb *Tenso
 		matmulTA(w.Data, gyi, gcol, spec.OutC, colRows, colCols)
 		col2im(gcol, c, h, wd, spec, gx.Data[i*c*h*wd:(i+1)*c*h*wd])
 	}
+	putScratch(gwBuf)
+	putScratch(gcolBuf)
 	return gx
 }
 
-// convGradWeights computes gw[oc][r] = Σ_j gy[oc][j] * col[r][j].
+// convGradWeights computes gw[oc][r] = Σ_j gy[oc][j] * col[r][j],
+// i.e. gw = gy(OutC×colCols) * colᵀ, parallelized over output channels.
 func convGradWeights(gy, col, gw []float32, outC, colRows, colCols int) {
 	parallelFor(outC, func(lo, hi int) {
-		for oc := lo; oc < hi; oc++ {
-			gyRow := gy[oc*colCols : (oc+1)*colCols]
-			for r := 0; r < colRows; r++ {
-				colRow := col[r*colCols : (r+1)*colCols]
-				var s float32
-				for j, v := range gyRow {
-					s += v * colRow[j]
-				}
-				gw[oc*colRows+r] = s
-			}
-		}
+		gemmBTRows(gy, col, gw, lo, hi, colCols, colRows)
 	})
 }

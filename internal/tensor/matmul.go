@@ -12,17 +12,7 @@ func MatMulAT(a, b, out []float32, m, k, n int) { matmulTA(a, b, out, m, k, n) }
 // i.e. out[i][r] = Σ_j a[i][j] * b[r][j]. The out slice is overwritten.
 func MatMulBT(a, b, out []float32, m, n, k int) {
 	parallelFor(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a[i*n : (i+1)*n]
-			for r := 0; r < k; r++ {
-				brow := b[r*n : (r+1)*n]
-				var s float32
-				for j, v := range arow {
-					s += v * brow[j]
-				}
-				out[i*k+r] = s
-			}
-		}
+		gemmBTRows(a, b, out, lo, hi, n, k)
 	})
 }
 

@@ -1,0 +1,174 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The worker pool replaces the per-call goroutine spawning the kernel
+// layer used to do: a fixed set of workers is started lazily on the
+// first parallel kernel call and then reused for every subsequent
+// ParallelFor, so a steady-state inference loop never creates a
+// goroutine.
+//
+// Scheduling is claim-based: a ParallelFor call publishes one job whose
+// chunks are claimed with an atomic counter by the pool workers *and* by
+// the submitting goroutine itself. Because the submitter always claims
+// until the job is exhausted, a job completes even if no worker ever
+// picks it up (queue full, pool shut down, or all workers busy), which
+// makes nested ParallelFor calls deadlock-free by construction: a
+// goroutine only ever waits on chunks that some goroutine has already
+// claimed and is actively executing.
+//
+// Determinism: chunk boundaries depend only on n and GOMAXPROCS, chunks
+// cover disjoint index ranges, and no reduction crosses a chunk
+// boundary inside the pool, so kernel outputs are bit-identical across
+// runs regardless of how chunks are interleaved onto workers.
+
+// job is one ParallelFor invocation.
+type job struct {
+	fn     func(lo, hi int)
+	n      int
+	chunk  int   // indices per chunk
+	chunks int32 // total chunk count
+	next   atomic.Int32
+	done   atomic.Int32
+	fin    chan struct{} // closed by whoever completes the last chunk
+}
+
+// run claims and executes chunks until the job is exhausted.
+func (j *job) run() {
+	for {
+		c := j.next.Add(1) - 1
+		if c >= j.chunks {
+			return
+		}
+		lo := int(c) * j.chunk
+		hi := lo + j.chunk
+		if hi > j.n {
+			hi = j.n
+		}
+		j.fn(lo, hi)
+		if j.done.Add(1) == j.chunks {
+			close(j.fin)
+		}
+	}
+}
+
+// workerPool is the lazily started persistent worker set.
+type workerPool struct {
+	mu      sync.Mutex
+	jobs    chan *job
+	stop    chan struct{}
+	joined  sync.WaitGroup // joins workers on shutdown
+	running bool
+	workers int
+}
+
+var pool workerPool
+
+// ensure starts the workers on first use (or after a shutdown) and
+// returns the submission queue and worker count.
+func (p *workerPool) ensure() (chan *job, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.running {
+		p.workers = runtime.GOMAXPROCS(0)
+		p.jobs = make(chan *job, 8*p.workers)
+		p.stop = make(chan struct{})
+		// Workers capture the channels by value: a later shutdown/restart
+		// cycle replaces the pool fields, and old workers must keep
+		// draining their own generation's queue only.
+		jobs, stop := p.jobs, p.stop
+		for w := 0; w < p.workers; w++ {
+			p.joined.Add(1)
+			go func() {
+				defer p.joined.Done()
+				for {
+					select {
+					case j := <-jobs:
+						j.run()
+					case <-stop:
+						return
+					}
+				}
+			}()
+		}
+		p.running = true
+	}
+	return p.jobs, p.workers
+}
+
+// ShutdownPool stops the persistent kernel workers and blocks until
+// every worker goroutine has exited. It is safe to call when the pool
+// was never started, and the pool restarts lazily on the next parallel
+// kernel call (picking up the then-current GOMAXPROCS), so tests and
+// embedders can use it to assert goroutine hygiene or to resize the
+// pool. Kernel calls racing with ShutdownPool still complete correctly:
+// their chunks are executed by the submitting goroutine.
+func ShutdownPool() {
+	pool.mu.Lock()
+	if !pool.running {
+		pool.mu.Unlock()
+		return
+	}
+	close(pool.stop)
+	pool.running = false
+	pool.mu.Unlock()
+	pool.joined.Wait()
+}
+
+// PoolWorkers reports how many persistent workers the pool is running
+// (0 when the pool has not started).
+func PoolWorkers() int {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	if !pool.running {
+		return 0
+	}
+	return pool.workers
+}
+
+// parallelFor splits [0, n) into chunks and executes fn(lo, hi) over
+// them, using the persistent pool for parallelism. The caller
+// participates in execution, so the call always completes even with no
+// free workers, and it blocks until every chunk has run.
+func parallelFor(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	maxprocs := runtime.GOMAXPROCS(0)
+	if maxprocs <= 1 || n == 1 {
+		fn(0, n)
+		return
+	}
+	chunks := maxprocs
+	if chunks > n {
+		chunks = n
+	}
+	chunk := (n + chunks - 1) / chunks
+	chunks = (n + chunk - 1) / chunk
+	if chunks <= 1 {
+		fn(0, n)
+		return
+	}
+	j := &job{fn: fn, n: n, chunk: chunk, chunks: int32(chunks), fin: make(chan struct{})}
+	jobs, workers := pool.ensure()
+	// Offer the job to at most chunks-1 workers (the caller claims too).
+	// A full queue is not an error: unoffered chunks run on the caller.
+	shares := chunks - 1
+	if shares > workers {
+		shares = workers
+	}
+offer:
+	for s := 0; s < shares; s++ {
+		select {
+		case jobs <- j:
+		default:
+			break offer
+		}
+	}
+	j.run()
+	<-j.fin
+}

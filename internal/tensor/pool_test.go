@@ -1,0 +1,99 @@
+package tensor
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// withProcs runs fn with GOMAXPROCS temporarily set to p and the worker
+// pool cycled around it, so the pool is sized for p inside fn and reset
+// to the ambient size afterwards.
+func withProcs(t *testing.T, p int, fn func()) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(p)
+	ShutdownPool()
+	defer func() {
+		runtime.GOMAXPROCS(prev)
+		ShutdownPool()
+	}()
+	fn()
+}
+
+func TestParallelForCoversRangeExactlyOnce(t *testing.T) {
+	withProcs(t, 4, func() {
+		for _, n := range []int{1, 2, 3, 7, 64, 1000} {
+			hits := make([]int32, n)
+			parallelFor(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d: index %d executed %d times", n, i, h)
+				}
+			}
+		}
+	})
+}
+
+// TestParallelForNested checks the claim-based scheduler is deadlock-free
+// when every worker is itself inside a parallelFor (the submitter always
+// claims unowned chunks, so progress never depends on a free worker).
+func TestParallelForNested(t *testing.T) {
+	withProcs(t, 4, func() {
+		var total atomic.Int64
+		parallelFor(8, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				parallelFor(16, func(l2, h2 int) {
+					total.Add(int64(h2 - l2))
+				})
+			}
+		})
+		if total.Load() != 8*16 {
+			t.Fatalf("nested parallelFor executed %d inner indices, want %d", total.Load(), 8*16)
+		}
+	})
+}
+
+func TestPoolShutdownRestart(t *testing.T) {
+	withProcs(t, 4, func() {
+		ShutdownPool()
+		if n := PoolWorkers(); n != 0 {
+			t.Fatalf("PoolWorkers after shutdown = %d, want 0", n)
+		}
+		parallelFor(64, func(lo, hi int) {})
+		if n := PoolWorkers(); n != 4 {
+			t.Fatalf("PoolWorkers after first kernel = %d, want 4", n)
+		}
+		ShutdownPool()
+		if n := PoolWorkers(); n != 0 {
+			t.Fatalf("PoolWorkers after second shutdown = %d, want 0", n)
+		}
+		// Restart is lazy and transparent.
+		parallelFor(64, func(lo, hi int) {})
+		if n := PoolWorkers(); n != 4 {
+			t.Fatalf("PoolWorkers after restart = %d, want 4", n)
+		}
+	})
+}
+
+// TestMatMulDeterministicAcrossWorkerCounts pins the bit-determinism
+// contract: the same inputs produce identical bits at 1 worker and at 4.
+func TestMatMulDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m, k, n := 33, 50, 41
+	a := randSlice(rng, m*k)
+	b := randSlice(rng, k*n)
+	serial := make([]float32, m*n)
+	parallel := make([]float32, m*n)
+	withProcs(t, 1, func() { MatMul(a, b, serial, m, k, n) })
+	withProcs(t, 4, func() { MatMul(a, b, parallel, m, k, n) })
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("MatMul element %d differs across worker counts: %v vs %v", i, serial[i], parallel[i])
+		}
+	}
+}

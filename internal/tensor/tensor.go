@@ -74,6 +74,35 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	return &Tensor{Shape: append([]int(nil), shape...), Data: t.Data}
 }
 
+// Ensure returns a tensor of the given shape, reusing t's backing
+// storage when its capacity suffices and growing it otherwise. A nil t
+// allocates fresh. The returned tensor's contents are unspecified —
+// callers must fully overwrite it — which is exactly the contract the
+// inference fast path needs to recycle per-layer output buffers without
+// a clearing pass.
+func Ensure(t *Tensor, shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		if s <= 0 {
+			// The message deliberately omits the shape: formatting it
+			// would make the variadic slice escape and cost the hot
+			// path one heap allocation per call.
+			panic("tensor: non-positive dimension in Ensure shape")
+		}
+		n *= s
+	}
+	if t == nil {
+		t = &Tensor{}
+	}
+	t.Shape = append(t.Shape[:0], shape...)
+	if cap(t.Data) < n {
+		t.Data = make([]float32, n)
+	} else {
+		t.Data = t.Data[:n]
+	}
+	return t
+}
+
 // Zero sets every element to 0.
 func (t *Tensor) Zero() {
 	for i := range t.Data {

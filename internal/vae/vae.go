@@ -294,9 +294,14 @@ func (m *Model) toInput(f *video.RGB) *tensor.Tensor {
 }
 
 // Features returns the encoder's latent mean μ for a frame — the feature
-// vector fed to the clustering stage.
+// vector fed to the clustering stage. It runs the encoder on the no-grad
+// inference path (fused conv+ReLU, reused buffers) and skips the log σ²
+// head entirely, so feature extraction over a whole corpus stays cheap.
 func (m *Model) Features(f *video.RGB) []float64 {
-	mu, _ := m.encode(m.toInput(f))
+	h := m.enc1.ForwardInferenceReLU(m.toInput(f))
+	h = m.enc2.ForwardInferenceReLU(h)
+	n := h.Shape[0]
+	mu := m.muHead.ForwardInference(h.Reshape(n, h.Len()/n))
 	out := make([]float64, mu.Len())
 	for i, v := range mu.Data {
 		out[i] = float64(v)
