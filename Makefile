@@ -8,8 +8,11 @@ GO ?= go
 
 # The experiments package trains real models and takes well over the
 # default 10m per-package limit under race instrumentation; the longer
-# -timeout covers it without masking hangs elsewhere.
+# -timeout covers it without masking hangs elsewhere. The golden test
+# runs first and by name: staged Prepare must stay bit-identical to the
+# single-pass pipeline before anything else is worth checking.
 verify: build vet lint
+	$(GO) test -run 'TestPrepareGoldenEquivalence' -v ./internal/core/
 	$(GO) test -race -timeout 30m ./...
 
 build:
@@ -30,12 +33,14 @@ test:
 # Enhance path, and the paper's Fig 8 FPS sweep, all with allocation
 # stats. Also emits BENCH_kernels.json (machine-readable ns/op, B/op,
 # allocs/op, FPS rows) via dcsr-bench so runs can be diffed across
-# checkouts on one machine.
+# checkouts on one machine, and BENCH_cachebudget.json (model-cache
+# hit/eviction/bandwidth accounting across byte budgets).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkGEMM|BenchmarkConv2DInfer|BenchmarkIm2col' -benchmem ./internal/tensor/
 	$(GO) test -run '^$$' -bench 'BenchmarkEnhance(270|540)p|BenchmarkForwardInference' -benchmem ./internal/edsr/
 	$(GO) test -run '^$$' -bench 'BenchmarkFig8' -benchmem .
 	$(GO) run ./cmd/dcsr-bench -only kernels -json BENCH_kernels.json
+	$(GO) run ./cmd/dcsr-bench -fast -only cachebudget -json BENCH_cachebudget.json
 
 # Full evaluation-scale benchmark suite (minutes), including the 1080p
 # Enhance benchmark.

@@ -32,11 +32,12 @@ import (
 
 // jsonReport is the -json output document.
 type jsonReport struct {
-	Fast        bool             `json:"fast"`
-	Only        string           `json:"only,omitempty"`
-	Experiments []jsonExperiment `json:"experiments"`
-	Kernels     []kernelResult   `json:"kernels,omitempty"`
-	Metrics     obs.Snapshot     `json:"metrics"`
+	Fast        bool                           `json:"fast"`
+	Only        string                         `json:"only,omitempty"`
+	Experiments []jsonExperiment               `json:"experiments"`
+	Kernels     []kernelResult                 `json:"kernels,omitempty"`
+	CacheBudget *experiments.CacheBudgetResult `json:"cachebudget,omitempty"`
+	Metrics     obs.Snapshot                   `json:"metrics"`
 }
 
 type jsonExperiment struct {
@@ -67,6 +68,7 @@ func main() {
 	}
 
 	var kernelRows []kernelResult
+	var cacheBudgetRes *experiments.CacheBudgetResult
 
 	var fig9 *experiments.Fig9Result
 	getFig9 := func() *experiments.Fig9Result {
@@ -165,6 +167,15 @@ func main() {
 			kernelRows = rows
 			printKernelTable(rows)
 		}},
+		{"cachebudget", "model-cache hit/eviction/bandwidth rates vs byte budget", func(c experiments.EvalConfig) {
+			t, r, err := experiments.ExperimentCacheBudget(c)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcsr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			cacheBudgetRes = r
+			fmt.Println(t)
+		}},
 		{"ablations", "VAE features / global k-means / split / propagation ablations", func(c experiments.EvalConfig) {
 			t1, _ := experiments.AblationFeatures(c)
 			fmt.Println(t1)
@@ -215,6 +226,7 @@ func main() {
 	}
 	if *jsonOut != "" {
 		report.Kernels = kernelRows
+		report.CacheBudget = cacheBudgetRes
 		report.Metrics = cfg.Obs.Metrics.Snapshot()
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -43,6 +43,7 @@ func main() {
 	h := flag.Int("h", 48, "frame height used at prepare time")
 	seed := flag.Int64("seed", 7, "seed used at prepare time")
 	noCache := flag.Bool("no-cache", false, "disable micro-model caching (ablation)")
+	cacheBudget := flag.Int64("cache-budget", 0, "micro-model cache budget in bytes (0 = unbounded; past it the LRU model is evicted and lazily re-downloaded)")
 	faultDrop := flag.Float64("fault-drop", 0, "with -addr: probability of dropping a response (fault injection)")
 	faultDelay := flag.Duration("fault-delay", 0, "with -addr: inject this extra latency into every response")
 	faultSeed := flag.Int64("fault-seed", 1, "with -addr: fault-injection PRNG seed")
@@ -54,7 +55,7 @@ func main() {
 		playFromNetwork(netOptions{
 			addr: *addr, rate: *rate,
 			faultDrop: *faultDrop, faultDelay: *faultDelay, faultSeed: *faultSeed,
-			retries: *retries, timeout: *timeout,
+			retries: *retries, timeout: *timeout, cacheBudget: *cacheBudget,
 		})
 		return
 	}
@@ -73,6 +74,7 @@ func main() {
 
 	player := core.NewPlayer(prep)
 	player.UseCache = !*noCache
+	player.CacheBudget = *cacheBudget
 	res, err := player.Play()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dcsr-play: %v\n", err)
@@ -83,6 +85,10 @@ func main() {
 	fmt.Printf("downloaded: video %d B + models %d B = %d B (%d model downloads, %d cache hits)\n",
 		res.Session.VideoBytes, res.Session.ModelBytes, res.TotalBytes(),
 		res.Session.Downloads, res.Session.CacheHits)
+	if res.Evictions > 0 {
+		fmt.Printf("cache budget %d B: %d evictions, %d B resident at end\n",
+			*cacheBudget, res.Evictions, res.CacheBytes)
+	}
 
 	if *genreName == "" {
 		return
@@ -129,13 +135,14 @@ func main() {
 // netOptions parameterizes a networked playback: link shaping, fault
 // injection, and the client's fault-tolerance knobs.
 type netOptions struct {
-	addr       string
-	rate       float64
-	faultDrop  float64
-	faultDelay time.Duration
-	faultSeed  int64
-	retries    int
-	timeout    time.Duration
+	addr        string
+	rate        float64
+	faultDrop   float64
+	faultDelay  time.Duration
+	faultSeed   int64
+	retries     int
+	timeout     time.Duration
+	cacheBudget int64
 }
 
 // playFromNetwork streams from a dcsr-serve origin over TCP, optionally
@@ -173,6 +180,7 @@ func playFromNetwork(opt netOptions) {
 	}
 	client := transport.NewClient(conn)
 	client.Redial = dial
+	client.CacheBudget = opt.cacheBudget
 	client.Retry = transport.RetryPolicy{
 		MaxRetries: opt.retries,
 		Timeout:    opt.timeout,
@@ -187,6 +195,10 @@ func playFromNetwork(opt netOptions) {
 	fmt.Printf("downloaded: video %d B + models %d B (%d model downloads, %d cache hits)\n",
 		stats.VideoBytes, stats.ModelBytes, stats.ModelDownloads, stats.CacheHits)
 	fmt.Printf("%d I frames enhanced in-loop\n", stats.Enhanced)
+	if stats.Evictions > 0 {
+		fmt.Printf("cache budget %d B: %d evictions, %d B resident at end\n",
+			opt.cacheBudget, stats.Evictions, stats.CacheBytes)
+	}
 	if stats.DegradedSegments > 0 || client.Retries > 0 || client.Timeouts > 0 {
 		fmt.Printf("fault recovery: %d segments degraded (no SR), %d retries, %d timeouts, %d reconnects, %v stalled\n",
 			stats.DegradedSegments, client.Retries, client.Timeouts, client.Reconnects, client.StallTime)

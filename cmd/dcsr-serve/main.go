@@ -16,12 +16,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
 	"dcsr/internal/core"
 	"dcsr/internal/edsr"
@@ -42,7 +45,22 @@ func main() {
 	qp := flag.Int("qp", 51, "encoder QP for -genre mode")
 	steps := flag.Int("steps", 300, "training steps for -genre mode")
 	obsAddr := flag.String("obs-addr", "", "debug HTTP sidecar address for /metrics, /debug/trace and pprof (off when empty)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint directory for -genre mode: an interrupted Prepare resumes from its last completed stage on restart")
 	flag.Parse()
+
+	// One SIGINT cancels whatever is running: an in-flight Prepare stops
+	// within a training step (resumable via -checkpoint), a serving
+	// origin drains gracefully. A second SIGINT kills the process the
+	// usual way (the handler is only registered once).
+	ctx, cancel := context.WithCancel(context.Background())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		signal.Stop(sig)
+		fmt.Println("\ninterrupted")
+		cancel()
+	}()
 
 	// Observability is always collected (it is nearly free) but only
 	// exposed — and logged — when the sidecar is enabled.
@@ -82,15 +100,16 @@ func main() {
 		gc.MinFrames, gc.MaxFrames = 5, 9
 		clip := video.Generate(gc)
 		fmt.Printf("prepared in-process: %s\n", clip)
-		prep, err = core.Prepare(clip.YUVFrames(), clip.FPS, core.ServerConfig{
-			QP:          *qp,
-			Split:       splitter.Config{Threshold: 14, MinLen: 3},
-			VAE:         vae.Config{ImgSize: 16, LatentDim: 8, BaseCh: 4},
-			VAETrain:    vae.TrainOptions{Epochs: 25, BatchSize: 4, Seed: *seed},
-			MicroConfig: edsr.Config{Filters: 8, ResBlocks: 2},
-			Train:       edsr.TrainOptions{Steps: *steps, BatchSize: 2, PatchSize: 16},
-			Seed:        *seed,
-			Obs:         o,
+		prep, err = core.PrepareCtx(ctx, clip.YUVFrames(), clip.FPS, core.ServerConfig{
+			QP:            *qp,
+			Split:         splitter.Config{Threshold: 14, MinLen: 3},
+			VAE:           vae.Config{ImgSize: 16, LatentDim: 8, BaseCh: 4},
+			VAETrain:      vae.TrainOptions{Epochs: 25, BatchSize: 4, Seed: *seed},
+			MicroConfig:   edsr.Config{Filters: 8, ResBlocks: 2},
+			Train:         edsr.TrainOptions{Steps: *steps, BatchSize: 2, PatchSize: 16},
+			Seed:          *seed,
+			CheckpointDir: *checkpoint,
+			Obs:           o,
 		})
 	default:
 		fmt.Fprintln(os.Stderr, "dcsr-serve: one of -in or -genre is required")
@@ -98,6 +117,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) && *checkpoint != "" {
+			fmt.Printf("prepare interrupted; completed stages are checkpointed in %s — rerun to resume\n", *checkpoint)
+			os.Exit(1)
+		}
 		fmt.Fprintf(os.Stderr, "dcsr-serve: %v\n", err)
 		os.Exit(1)
 	}
@@ -130,16 +153,18 @@ func main() {
 		}()
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
 	go func() {
-		<-sig
-		fmt.Println("\nshutting down")
-		if err := srv.Close(); err != nil {
+		<-ctx.Done()
+		fmt.Println("shutting down (draining connections, 5s grace)")
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		if err := srv.Shutdown(sctx); err != nil {
 			fmt.Fprintf(os.Stderr, "dcsr-serve: shutdown: %v\n", err)
 		}
 	}()
-	if err := srv.Serve(ln); err != nil && err != net.ErrClosed {
+	// Shutdown closes the listener, so Serve's accept error wraps
+	// net.ErrClosed on a clean drain.
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
 		fmt.Fprintf(os.Stderr, "dcsr-serve: %v\n", err)
 	}
 }

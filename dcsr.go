@@ -34,6 +34,7 @@
 package dcsr
 
 import (
+	"context"
 	"io"
 
 	"dcsr/internal/baseline"
@@ -42,6 +43,7 @@ import (
 	"dcsr/internal/core"
 	"dcsr/internal/device"
 	"dcsr/internal/edsr"
+	"dcsr/internal/modelstore"
 	"dcsr/internal/obs"
 	"dcsr/internal/quality"
 	"dcsr/internal/splitter"
@@ -67,6 +69,15 @@ type (
 // Prepare runs the full server-side dcSR pipeline over raw video frames.
 func Prepare(frames []*YUV, fps int, cfg ServerConfig) (*Prepared, error) {
 	return core.Prepare(frames, fps, cfg)
+}
+
+// PrepareCtx is Prepare with cancellation and checkpoint/resume: ctx is
+// honoured between pipeline stages, between per-cluster training jobs,
+// and inside each training loop (one step granularity), and a
+// ServerConfig.CheckpointDir lets an interrupted run resume from its
+// last completed work.
+func PrepareCtx(ctx context.Context, frames []*YUV, fps int, cfg ServerConfig) (*Prepared, error) {
+	return core.PrepareCtx(ctx, frames, fps, cfg)
 }
 
 // NewPlayer builds a client-side player over a prepared stream.
@@ -238,6 +249,46 @@ func SplitVideo(frames []*YUV, cfg SplitConfig) []Segment { return splitter.Spli
 // NewSession starts a download session over a manifest; useCache enables
 // the paper's Algorithm 1 micro-model caching.
 func NewSession(m *Manifest, useCache bool) (*Session, error) { return stream.NewSession(m, useCache) }
+
+// NewSessionWithBudget starts a download session whose model cache holds
+// at most budget bytes of serialized weights (budget < 0 → unbounded,
+// 0 → caching disabled, > 0 → LRU eviction past the budget).
+func NewSessionWithBudget(m *Manifest, budget int64) (*Session, error) {
+	return stream.NewSessionWithBudget(m, budget)
+}
+
+// Model storage (internal/modelstore): content-addressed stores for
+// trained weights — identical models dedupe by digest — and the
+// byte-budgeted LRU cache behind Session, Player.CacheBudget and
+// StreamClient.CacheBudget.
+type (
+	// ModelDigest is the SHA-256 content address of serialized weights.
+	ModelDigest = modelstore.Digest
+	// ModelStore is the content-addressed storage interface.
+	ModelStore = modelstore.Store
+	// MemModelStore keeps objects in memory.
+	MemModelStore = modelstore.Mem
+	// DiskModelStore keeps one file per object under a directory.
+	DiskModelStore = modelstore.Disk
+	// BoundedModelCache is a byte-budgeted LRU over model payloads.
+	BoundedModelCache = modelstore.BoundedCache
+)
+
+// DigestModel computes the content address of serialized model weights.
+func DigestModel(payload []byte) ModelDigest { return modelstore.DigestOf(payload) }
+
+// NewMemModelStore returns an empty in-memory model store.
+func NewMemModelStore() *MemModelStore { return modelstore.NewMem() }
+
+// NewDiskModelStore opens (creating if needed) a disk-backed model store
+// rooted at dir.
+func NewDiskModelStore(dir string) (*DiskModelStore, error) { return modelstore.NewDisk(dir) }
+
+// NewBoundedModelCache returns an empty cache holding at most budget
+// bytes (budget < 0 → unbounded, 0 → disabled).
+func NewBoundedModelCache(budget int64) *BoundedModelCache {
+	return modelstore.NewBoundedCache(budget)
+}
 
 // Observability. An Obs bundle threads metrics, stage tracing and
 // logging through ServerConfig.Obs, Player.Obs and the transport; all

@@ -148,7 +148,7 @@ func LoadArtifact(dir string) (*Prepared, error) { return core.Load(dir) }
 type Diagnostic = lint.Diagnostic
 
 // Lint runs the repository's static-analysis pass — the metricnames,
-// nodeterm, errcheck, nilsafe and goleak analyzers with //lint:allow
+// nodeterm, errcheck, nilsafe, goleak and ctxcheck analyzers with //lint:allow
 // suppression applied — over the Go module containing dir and returns
 // the surviving diagnostics sorted by position. An empty result means
 // the tree upholds every machine-checked invariant.

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dcsr/internal/cluster"
+	"dcsr/internal/codec"
+	"dcsr/internal/edsr"
+	"dcsr/internal/modelstore"
+	"dcsr/internal/nn"
+	"dcsr/internal/video"
+)
+
+// Checkpoint layout under ServerConfig.CheckpointDir:
+//
+//	<dir>/stages.json   — which stages completed, with small results inline
+//	<dir>/objects/      — modelstore.Disk holding large payloads (the coded
+//	                      stream, per-cluster trained weights) by digest
+//
+// stages.json records a digest of the pipeline inputs (frames + fps +
+// config); a resume against different inputs silently starts fresh rather
+// than splicing mismatched artifacts together. Large payloads live in the
+// content-addressed store, so identical trained models checkpoint once.
+
+type ckptModel struct {
+	Digest     string  `json:"digest,omitempty"` // empty → cluster had no samples
+	Steps      int     `json:"steps,omitempty"`
+	FirstLoss  float64 `json:"first_loss,omitempty"`
+	FinalLoss  float64 `json:"final_loss,omitempty"`
+	TrainFLOPs float64 `json:"train_flops,omitempty"`
+}
+
+type ckptCluster struct {
+	K      int             `json:"k"`
+	Assign []int           `json:"assign"`
+	Sweeps []cluster.Sweep `json:"sweeps,omitempty"`
+}
+
+type ckptState struct {
+	Version     int                `json:"version"`
+	InputDigest string             `json:"input_digest"`
+	Stream      string             `json:"stream,omitempty"` // digest of Stream.Marshal()
+	Features    [][]float64        `json:"features,omitempty"`
+	Micro       *edsr.Config       `json:"micro,omitempty"`
+	Cluster     *ckptCluster       `json:"cluster,omitempty"`
+	Models      map[int]*ckptModel `json:"models,omitempty"`
+}
+
+// checkpoint persists per-stage pipeline results so an interrupted
+// Prepare resumes instead of recomputing. A nil *checkpoint is valid and
+// disables checkpointing (every getter misses, every putter no-ops).
+type checkpoint struct {
+	mu    sync.Mutex
+	dir   string
+	store *modelstore.Disk
+	state ckptState
+}
+
+const ckptVersion = 1
+
+// openCheckpoint opens (creating if needed) the checkpoint under dir. An
+// existing stages.json whose input digest does not match inputDigest is
+// discarded: the artifacts belong to a different video or config.
+func openCheckpoint(dir, inputDigest string) (*checkpoint, error) {
+	store, err := modelstore.NewDisk(filepath.Join(dir, "objects"))
+	if err != nil {
+		return nil, err
+	}
+	ck := &checkpoint{dir: dir, store: store}
+	ck.state = ckptState{Version: ckptVersion, InputDigest: inputDigest, Models: map[int]*ckptModel{}}
+	raw, err := os.ReadFile(ck.statePath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ck, nil
+		}
+		return nil, fmt.Errorf("core: reading checkpoint: %w", err)
+	}
+	var prev ckptState
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		return nil, fmt.Errorf("core: parsing checkpoint %s: %w", ck.statePath(), err)
+	}
+	if prev.Version == ckptVersion && prev.InputDigest == inputDigest {
+		if prev.Models == nil {
+			prev.Models = map[int]*ckptModel{}
+		}
+		ck.state = prev
+	}
+	return ck, nil
+}
+
+func (ck *checkpoint) statePath() string { return filepath.Join(ck.dir, "stages.json") }
+
+// flushLocked writes stages.json atomically; ck.mu must be held.
+func (ck *checkpoint) flushLocked() error {
+	raw, err := json.MarshalIndent(&ck.state, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := ck.statePath() + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("core: writing checkpoint: %w", err)
+	}
+	return os.Rename(tmp, ck.statePath())
+}
+
+// stream returns the checkpointed coded stream, if any.
+func (ck *checkpoint) stream() (*codec.Stream, bool, error) {
+	if ck == nil {
+		return nil, false, nil
+	}
+	ck.mu.Lock()
+	digest := ck.state.Stream
+	ck.mu.Unlock()
+	if digest == "" {
+		return nil, false, nil
+	}
+	d, err := modelstore.ParseDigest(digest)
+	if err != nil {
+		return nil, false, err
+	}
+	raw, err := ck.store.Get(d)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: checkpointed stream: %w", err)
+	}
+	st, err := codec.Unmarshal(raw)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: checkpointed stream: %w", err)
+	}
+	return st, true, nil
+}
+
+func (ck *checkpoint) putStream(st *codec.Stream) error {
+	if ck == nil {
+		return nil
+	}
+	d, err := ck.store.Put(st.Marshal())
+	if err != nil {
+		return err
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.state.Stream = d.String()
+	return ck.flushLocked()
+}
+
+func (ck *checkpoint) features() ([][]float64, bool) {
+	if ck == nil {
+		return nil, false
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.state.Features, ck.state.Features != nil
+}
+
+func (ck *checkpoint) putFeatures(f [][]float64) error {
+	if ck == nil {
+		return nil
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.state.Features = f
+	return ck.flushLocked()
+}
+
+func (ck *checkpoint) micro() (edsr.Config, bool) {
+	if ck == nil {
+		return edsr.Config{}, false
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if ck.state.Micro == nil {
+		return edsr.Config{}, false
+	}
+	return *ck.state.Micro, true
+}
+
+func (ck *checkpoint) putMicro(c edsr.Config) error {
+	if ck == nil {
+		return nil
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.state.Micro = &c
+	return ck.flushLocked()
+}
+
+func (ck *checkpoint) clusterResult() (*ckptCluster, bool) {
+	if ck == nil {
+		return nil, false
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.state.Cluster, ck.state.Cluster != nil
+}
+
+func (ck *checkpoint) putCluster(k int, assign []int, sweeps []cluster.Sweep) error {
+	if ck == nil {
+		return nil
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.state.Cluster = &ckptCluster{K: k, Assign: assign, Sweeps: sweeps}
+	return ck.flushLocked()
+}
+
+// model returns the checkpointed trained model for label, rebuilt from
+// its stored weights, or (nil, false, nil) when label has no checkpoint.
+func (ck *checkpoint) model(label int, micro edsr.Config) (*SegmentModel, bool, error) {
+	if ck == nil {
+		return nil, false, nil
+	}
+	ck.mu.Lock()
+	rec, ok := ck.state.Models[label]
+	ck.mu.Unlock()
+	if !ok || rec.Digest == "" {
+		return nil, false, nil
+	}
+	d, err := modelstore.ParseDigest(rec.Digest)
+	if err != nil {
+		return nil, false, err
+	}
+	data, err := ck.store.Get(d)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: checkpointed model %d: %w", label, err)
+	}
+	m, err := edsr.New(micro, 0)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := nn.LoadWeights(bytes.NewReader(data), m.Params()); err != nil {
+		return nil, false, fmt.Errorf("core: checkpointed model %d: %w", label, err)
+	}
+	return &SegmentModel{
+		Label: label, Config: micro, Model: m, Bytes: data,
+		Train: &edsr.TrainResult{
+			Steps: rec.Steps, FirstLoss: rec.FirstLoss,
+			FinalLoss: rec.FinalLoss, TrainFLOPs: rec.TrainFLOPs,
+		},
+	}, true, nil
+}
+
+// putModel checkpoints one trained cluster model (weights to the
+// content-addressed store, training record inline) as soon as it
+// finishes, so a cancelled run never retrains completed clusters.
+func (ck *checkpoint) putModel(sm *SegmentModel) error {
+	if ck == nil {
+		return nil
+	}
+	d, err := ck.store.Put(sm.Bytes)
+	if err != nil {
+		return err
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.state.Models[sm.Label] = &ckptModel{
+		Digest: d.String(), Steps: sm.Train.Steps, FirstLoss: sm.Train.FirstLoss,
+		FinalLoss: sm.Train.FinalLoss, TrainFLOPs: sm.Train.TrainFLOPs,
+	}
+	return ck.flushLocked()
+}
+
+// prepareInputDigest fingerprints everything that determines the pipeline
+// output — raw frames, fps, and the config (minus runtime-only fields) —
+// so a checkpoint is only resumed against the run that produced it.
+func prepareInputDigest(frames []*video.YUV, fps int, cfg ServerConfig) string {
+	h := sha256.New()
+	write := func(b []byte) {
+		if _, err := h.Write(b); err != nil {
+			panic(err) // hash.Hash.Write is documented never to fail
+		}
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(fps))
+	write(hdr[:])
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(frames)))
+	write(hdr[:])
+	for _, f := range frames {
+		binary.LittleEndian.PutUint64(hdr[:], uint64(f.W)<<32|uint64(f.H))
+		write(hdr[:])
+		write(f.Y)
+		write(f.U)
+		write(f.V)
+	}
+	// The digest covers only output-determining config: observability and
+	// the checkpoint location itself don't change what gets computed.
+	cfg.Obs = nil
+	cfg.CheckpointDir = ""
+	cj, err := json.Marshal(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("core: config not serializable: %v", err))
+	}
+	write(cj)
+	return hex.EncodeToString(h.Sum(nil))
+}

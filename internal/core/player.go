@@ -26,6 +26,12 @@ type PlayResult struct {
 	CacheMisses int
 	// ModelBytes is the total micro-model download volume.
 	ModelBytes int
+	// Evictions counts models evicted from the byte-budgeted cache; each
+	// evicted label is re-downloaded on its next reference.
+	Evictions int
+	// CacheBytes is the serialized model bytes resident in the cache at
+	// end of session (≤ Player.CacheBudget when one is set).
+	CacheBytes int64
 	// DegradedSegments counts segments that played without SR because
 	// their model fetch failed (only non-zero when Player.FetchModel is
 	// set and returned errors; see the fault model in package stream).
@@ -43,6 +49,12 @@ type Player struct {
 	prepared *Prepared
 	// UseCache toggles micro-model caching (paper §3.2.2); default true.
 	UseCache bool
+	// CacheBudget bounds the model cache in bytes of serialized weights:
+	// past the budget the least-recently-used model is evicted and its
+	// next reference re-downloads it. 0 (the default) leaves the cache
+	// unbounded, the paper's Algorithm 1 behaviour. Ignored when
+	// UseCache is false.
+	CacheBudget int64
 	// Enhance toggles SR entirely (false plays the raw low-quality video,
 	// the "LOW" series of paper Fig 9).
 	Enhance bool
@@ -84,14 +96,33 @@ func (pl *Player) Play() (*PlayResult, error) {
 	o := pl.Obs
 	root := o.Start("play")
 	defer root.End()
-	sess, err := stream.NewSession(p.Manifest, pl.UseCache)
+	budget := int64(-1)
+	switch {
+	case !pl.UseCache:
+		budget = 0
+	case pl.CacheBudget > 0:
+		budget = pl.CacheBudget
+	}
+	sess, err := stream.NewSessionWithBudget(p.Manifest, budget)
 	if err != nil {
 		return nil, err
 	}
 	sessSpan := root.Child("session")
 	sess.Obs = o
 	sess.Trace = sessSpan
-	sess.Fetcher = pl.FetchModel
+	// The cache holds the real serialized weights, so a byte budget
+	// evicts exactly what a device with that much model memory would.
+	sess.FetchData = func(label int) ([]byte, error) {
+		if pl.FetchModel != nil {
+			if err := pl.FetchModel(label); err != nil {
+				return nil, err
+			}
+		}
+		if sm, ok := p.Models[label]; ok {
+			return sm.Bytes, nil
+		}
+		return nil, nil
+	}
 	sess.Run()
 	sessSpan.Set("video_bytes", sess.VideoBytes)
 	sessSpan.Set("model_bytes", sess.ModelBytes)
@@ -138,5 +169,6 @@ func (pl *Player) Play() (*PlayResult, error) {
 		Frames: frames, Session: sess, Decode: dec.Stats,
 		CacheHits: sess.CacheHits, CacheMisses: sess.CacheMisses,
 		ModelBytes: sess.ModelBytes, DegradedSegments: sess.DegradedSegments,
+		Evictions: sess.Evictions(), CacheBytes: sess.CacheBytes(),
 	}, nil
 }

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"dcsr/internal/obs"
+)
+
+// TestPrepareCtxCancelledMidTrain cancels the pipeline while micro-model
+// training is underway: PrepareCtx must return context.Canceled promptly
+// (within one training step per worker) and leave no goroutines behind.
+func TestPrepareCtxCancelledMidTrain(t *testing.T) {
+	clip := testClip(t, 3, 3, 8)
+	frames := clip.YUVFrames()
+	cfg := tinyServerConfig()
+	// Enough steps that training cannot finish before the cancel lands.
+	cfg.Train.Steps = 200000
+
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := PrepareCtx(ctx, frames, clip.FPS, cfg)
+		errc <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("PrepareCtx after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("PrepareCtx did not return after cancellation")
+	}
+	// Training workers must have joined: the goroutine count returns to
+	// its pre-pipeline level (polled — the runtime needs a moment to
+	// retire exited goroutines).
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Fatalf("goroutines leaked: %d running, baseline %d", n, baseline)
+	}
+}
+
+// TestPrepareCtxAlreadyCancelled: a dead context stops the pipeline at
+// the first stage boundary.
+func TestPrepareCtxAlreadyCancelled(t *testing.T) {
+	clip := testClip(t, 3, 2, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PrepareCtx(ctx, clip.YUVFrames(), clip.FPS, tinyServerConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("PrepareCtx with cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestPrepareCheckpointResume runs the pipeline twice against the same
+// checkpoint dir: the second run restores every stage (zero training
+// steps) and reproduces the first run's output bit for bit.
+func TestPrepareCheckpointResume(t *testing.T) {
+	clip := testClip(t, 3, 3, 8)
+	frames := clip.YUVFrames()
+	cfg := tinyServerConfig()
+	cfg.CheckpointDir = t.TempDir()
+
+	first, err := Prepare(frames, clip.FPS, cfg)
+	if err != nil {
+		t.Fatalf("first Prepare: %v", err)
+	}
+	o := obs.New()
+	cfg.Obs = o
+	second, err := Prepare(frames, clip.FPS, cfg)
+	if err != nil {
+		t.Fatalf("resumed Prepare: %v", err)
+	}
+	comparePrepared(t, second, first)
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["train_steps_total"]; got != 0 {
+		t.Errorf("resumed run trained %d steps, want 0 (all models restored)", got)
+	}
+}
+
+// TestPrepareCheckpointPartialResume simulates an interrupted run by
+// deleting the cluster result and one trained model from a complete
+// checkpoint: the resumed pipeline recomputes exactly the missing work
+// and still matches a from-scratch run bit for bit.
+func TestPrepareCheckpointPartialResume(t *testing.T) {
+	clip := testClip(t, 3, 3, 8)
+	frames := clip.YUVFrames()
+	cfg := tinyServerConfig()
+
+	fresh, err := Prepare(frames, clip.FPS, cfg)
+	if err != nil {
+		t.Fatalf("fresh Prepare: %v", err)
+	}
+
+	cfg.CheckpointDir = t.TempDir()
+	if _, err := Prepare(frames, clip.FPS, cfg); err != nil {
+		t.Fatalf("checkpointed Prepare: %v", err)
+	}
+
+	statePath := filepath.Join(cfg.CheckpointDir, "stages.json")
+	raw, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var state map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &state); err != nil {
+		t.Fatal(err)
+	}
+	var models map[int]json.RawMessage
+	if err := json.Unmarshal(state["models"], &models); err != nil {
+		t.Fatal(err)
+	}
+	if len(models) == 0 {
+		t.Fatal("complete checkpoint has no models")
+	}
+	delete(models, 0)
+	state["models"], err = json.Marshal(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(state, "cluster")
+	raw, err = json.Marshal(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(statePath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := Prepare(frames, clip.FPS, cfg)
+	if err != nil {
+		t.Fatalf("partial resume: %v", err)
+	}
+	comparePrepared(t, resumed, fresh)
+}
+
+// TestPrepareCheckpointInputMismatch: a checkpoint from different inputs
+// is ignored, not spliced in — the run recomputes and still succeeds.
+func TestPrepareCheckpointInputMismatch(t *testing.T) {
+	dir := t.TempDir()
+	clipA := testClip(t, 3, 3, 8)
+	cfg := tinyServerConfig()
+	cfg.CheckpointDir = dir
+	if _, err := Prepare(clipA.YUVFrames(), clipA.FPS, cfg); err != nil {
+		t.Fatalf("first Prepare: %v", err)
+	}
+
+	clipB := testClip(t, 9, 2, 4)
+	fresh, err := Prepare(clipB.YUVFrames(), clipB.FPS, tinyServerConfig())
+	if err != nil {
+		t.Fatalf("fresh Prepare: %v", err)
+	}
+	resumed, err := Prepare(clipB.YUVFrames(), clipB.FPS, cfg)
+	if err != nil {
+		t.Fatalf("Prepare over mismatched checkpoint: %v", err)
+	}
+	comparePrepared(t, resumed, fresh)
+}

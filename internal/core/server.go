@@ -8,16 +8,15 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"math"
-	"runtime"
-	"sync"
 
 	"dcsr/internal/cluster"
 	"dcsr/internal/codec"
 	"dcsr/internal/edsr"
-	"dcsr/internal/nn"
 	"dcsr/internal/obs"
+	"dcsr/internal/quality"
 	"dcsr/internal/splitter"
 	"dcsr/internal/stream"
 	"dcsr/internal/vae"
@@ -64,6 +63,15 @@ type ServerConfig struct {
 	Train edsr.TrainOptions
 
 	Seed int64
+
+	// CheckpointDir, when non-empty, persists each completed pipeline
+	// stage (stream, features, cluster result, every trained model as it
+	// finishes) to this directory, and a later Prepare/PrepareCtx call
+	// with identical inputs resumes from the last completed work instead
+	// of recomputing. Large artifacts live in a content-addressed
+	// modelstore under <dir>/objects. Empty (the default) disables
+	// checkpointing.
+	CheckpointDir string
 
 	// Obs receives pipeline metrics, a per-stage span tree and stage
 	// logs; nil (the default) disables all instrumentation at zero
@@ -120,199 +128,6 @@ type Prepared struct {
 	OrigIFrames []*video.RGB
 }
 
-// Prepare runs the full server-side dcSR pipeline of paper Fig 2 over a
-// raw video (display-order frames at the given fps).
-func Prepare(frames []*video.YUV, fps int, cfg ServerConfig) (*Prepared, error) {
-	cfg = cfg.withDefaults()
-	if len(frames) < 2 {
-		return nil, fmt.Errorf("core: need at least 2 frames, got %d", len(frames))
-	}
-	o := cfg.Obs
-	o.Counter("prepare_runs_total").Inc()
-	root := o.Start("prepare")
-	root.Set("frames", len(frames))
-	defer root.End()
-	log := o.Logger()
-
-	// 1. Variable-length shot-based split; every segment starts with an I
-	// frame (paper §3.1.1).
-	sp := root.Child("split")
-	segs := splitter.Split(frames, cfg.Split)
-	sp.Set("segments", len(segs))
-	sp.End()
-	o.Counter("prepare_segments_total").Add(int64(len(segs)))
-	log.Debug("prepare: split", "segments", len(segs))
-
-	sp = root.Child("encode")
-	forceI := splitter.ForceIFlags(len(frames), segs)
-	st, err := codec.Encode(frames, forceI, fps, codec.EncoderConfig{
-		QP: cfg.QP, GOPSize: cfg.GOPSize, BFrames: cfg.BFrames,
-		HalfPel: cfg.HalfPel, Deblock: cfg.Deblock,
-	})
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: encoding low-quality stream: %w", err)
-	}
-	sp.Set("stream_bytes", st.Bytes())
-
-	// 2. Decode our own stream to obtain the client-visible low-quality
-	// I frames (training inputs must match what the client will enhance).
-	sp = root.Child("decode_low")
-	dec := codec.Decoder{Obs: o}
-	lowFrames, err := dec.Decode(st)
-	sp.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: decoding own stream: %w", err)
-	}
-	p := &Prepared{FPS: fps, Stream: st, Segments: segs, BigModel: cfg.BigModel}
-	for _, s := range segs {
-		p.LowIFrames = append(p.LowIFrames, lowFrames[s.Start].ToRGB())
-		p.OrigIFrames = append(p.OrigIFrames, frames[s.Start].ToRGB())
-	}
-
-	// 3. VAE feature extraction from the I frames (paper §3.1.1, Fig 3).
-	sp = root.Child("vae_features")
-	vm, err := vae.New(cfg.VAE, cfg.Seed+1)
-	if err != nil {
-		sp.End()
-		return nil, err
-	}
-	if _, err := vm.Train(p.OrigIFrames, cfg.VAETrain); err != nil {
-		sp.End()
-		return nil, fmt.Errorf("core: VAE training: %w", err)
-	}
-	for _, f := range p.OrigIFrames {
-		p.Features = append(p.Features, vm.Features(f))
-	}
-	sp.End()
-	log.Debug("prepare: VAE features extracted", "iframes", len(p.OrigIFrames))
-
-	// 4. Minimum working model (paper Appendix A.1), then K selection under
-	// the |M_big| / |M_min| constraint (paper Eq. 2–3).
-	micro := cfg.MicroConfig
-	if micro.Filters == 0 {
-		sp = root.Child("min_model_search")
-		micro, err = FindMinimumWorkingModel(p.LowIFrames, p.OrigIFrames, cfg)
-		sp.End()
-		if err != nil {
-			return nil, err
-		}
-	}
-	p.MicroConfig = micro
-	bigBytes := modelBytes(cfg.BigModel)
-	minBytes := modelBytes(micro)
-
-	sp = root.Child("kmeans_silhouette")
-	if len(segs) < 3 {
-		// Too few segments to cluster meaningfully: single cluster.
-		p.K = 1
-		p.Assign = make([]int, len(segs))
-	} else {
-		res, sweeps, err := cluster.SelectK(p.Features, bigBytes, minBytes)
-		if err != nil {
-			sp.End()
-			return nil, fmt.Errorf("core: K selection: %w", err)
-		}
-		p.K = res.K
-		p.Assign = res.Assign
-		p.Sweeps = sweeps
-	}
-	sp.Set("k", p.K)
-	sp.End()
-	o.Counter("prepare_clusters_total").Add(int64(p.K))
-	log.Debug("prepare: clusters selected", "k", p.K)
-
-	// 5. Train one micro model per cluster on its I-frame pairs
-	// (paper §3.1.3). Models are independent, so they train concurrently;
-	// per-label seeds keep the result identical to sequential training.
-	trainSpan := root.Child("train_micro_models")
-	sampleCtr := o.Counter("train_samples_total")
-	stepCtr := o.Counter("train_steps_total")
-	flopCtr := o.Counter("train_flops_total")
-	p.Models = make(map[int]*SegmentModel)
-	type trained struct {
-		label int
-		sm    *SegmentModel
-		err   error
-	}
-	results := make(chan trained, p.K)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > p.K {
-		workers = p.K
-	}
-	labels := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for label := range labels {
-				var pairs []edsr.Pair
-				for si, a := range p.Assign {
-					if a == label {
-						pairs = append(pairs, edsr.Pair{Low: p.LowIFrames[si], High: p.OrigIFrames[si]})
-					}
-				}
-				if len(pairs) == 0 {
-					results <- trained{label: label}
-					continue
-				}
-				cs := trainSpan.Child("train_cluster")
-				cs.Set("label", label)
-				cs.Set("samples", len(pairs))
-				sampleCtr.Add(int64(len(pairs)))
-				m, err := edsr.New(micro, cfg.Seed+100+int64(label))
-				if err != nil {
-					cs.End()
-					results <- trained{label: label, err: err}
-					continue
-				}
-				opts := cfg.Train
-				opts.Seed = cfg.Seed + 200 + int64(label)
-				tr, err := m.Train(pairs, opts)
-				if err != nil {
-					cs.End()
-					results <- trained{label: label, err: fmt.Errorf("core: training micro model %d: %w", label, err)}
-					continue
-				}
-				cs.Set("steps", tr.Steps)
-				cs.End()
-				stepCtr.Add(int64(tr.Steps))
-				flopCtr.Add(int64(tr.TrainFLOPs))
-				results <- trained{label: label, sm: &SegmentModel{
-					Label: label, Config: micro, Model: m,
-					Bytes: nn.EncodeWeights(m.Params()), Train: tr,
-				}}
-			}
-		}()
-	}
-	for label := 0; label < p.K; label++ {
-		labels <- label
-	}
-	close(labels)
-	wg.Wait()
-	close(results)
-	trainSpan.End()
-	for r := range results {
-		if r.err != nil {
-			return nil, r.err
-		}
-		if r.sm != nil {
-			p.TrainFLOPs += r.sm.Train.TrainFLOPs
-			p.Models[r.label] = r.sm
-		}
-	}
-
-	// 6. Manifest with byte-accurate segment and model sizes.
-	sp = root.Child("manifest")
-	p.Manifest = buildManifest(p)
-	sp.End()
-	log.Info("prepare: pipeline complete",
-		"segments", len(segs), "k", p.K, "models", len(p.Models),
-		"stream_bytes", st.Bytes(), "train_flops", p.TrainFLOPs)
-	return p, nil
-}
-
 // SegmentStream extracts segment i as an independently decodable
 // sub-stream: display indices are rebased to the segment start. It
 // requires the stream to have been encoded without B frames (the default
@@ -354,13 +169,21 @@ func modelBytes(cfg edsr.Config) int {
 // index and attaches model labels.
 func buildManifest(p *Prepared) *stream.Manifest {
 	man := &stream.Manifest{Models: make(map[int]stream.ModelInfo)}
-	segOf := func(display int) int {
-		for i, s := range p.Segments {
-			if display >= s.Start && display < s.End {
-				return i
-			}
+	// Segments tile the display range contiguously, so one precomputed
+	// display→segment table replaces a per-frame scan of the segment list
+	// (O(frames+segments) instead of O(frames×segments)).
+	last := len(p.Segments) - 1
+	segIndex := make([]int, p.Segments[last].End)
+	for i, s := range p.Segments {
+		for d := s.Start; d < s.End && d < len(segIndex); d++ {
+			segIndex[d] = i
 		}
-		return len(p.Segments) - 1
+	}
+	segOf := func(display int) int {
+		if display >= 0 && display < len(segIndex) {
+			return segIndex[display]
+		}
+		return last
 	}
 	segBytes := make([]int, len(p.Segments))
 	for _, f := range p.Stream.Frames {
@@ -389,6 +212,13 @@ func buildManifest(p *Prepared) *stream.Manifest {
 // then walk the candidate grid in ascending size and return the first
 // configuration whose trained quality is within cfg.MinPSNRGap dB of it.
 func FindMinimumWorkingModel(low, high []*video.RGB, cfg ServerConfig) (edsr.Config, error) {
+	return FindMinimumWorkingModelCtx(context.Background(), low, high, cfg)
+}
+
+// FindMinimumWorkingModelCtx is FindMinimumWorkingModel with
+// cancellation: ctx is polled before every training step, so a cancelled
+// search stops within one step and returns ctx.Err().
+func FindMinimumWorkingModelCtx(ctx context.Context, low, high []*video.RGB, cfg ServerConfig) (edsr.Config, error) {
 	cfg = cfg.withDefaults()
 	grid := cfg.MicroGrid
 	if len(grid) == 0 {
@@ -408,7 +238,7 @@ func FindMinimumWorkingModel(low, high []*video.RGB, cfg ServerConfig) (edsr.Con
 	for i := range low {
 		pairs[i] = edsr.Pair{Low: low[i], High: high[i]}
 	}
-	ref, err := trainedMSE(cfg.BigModel, pairs, opts, cfg.Seed+50)
+	ref, err := trainedMSE(ctx, cfg.BigModel, pairs, opts, cfg.Seed+50)
 	if err != nil {
 		return edsr.Config{}, err
 	}
@@ -416,7 +246,7 @@ func FindMinimumWorkingModel(low, high []*video.RGB, cfg ServerConfig) (edsr.Con
 	var last edsr.Config
 	for _, cand := range grid {
 		last = cand
-		mse, err := trainedMSE(cand, pairs, opts, cfg.Seed+60)
+		mse, err := trainedMSE(ctx, cand, pairs, opts, cfg.Seed+60)
 		if err != nil {
 			return edsr.Config{}, err
 		}
@@ -429,22 +259,27 @@ func FindMinimumWorkingModel(low, high []*video.RGB, cfg ServerConfig) (edsr.Con
 	return last, nil
 }
 
-func trainedMSE(cfg edsr.Config, pairs []edsr.Pair, opts edsr.TrainOptions, seed int64) (float64, error) {
+func trainedMSE(ctx context.Context, cfg edsr.Config, pairs []edsr.Pair, opts edsr.TrainOptions, seed int64) (float64, error) {
 	m, err := edsr.New(cfg, seed)
 	if err != nil {
 		return 0, err
 	}
 	opts.Seed = seed
+	opts.Stop = func() bool { return ctx.Err() != nil }
 	if _, err := m.Train(pairs, opts); err != nil {
+		if errors.Is(err, edsr.ErrStopped) {
+			return 0, ctx.Err()
+		}
 		return 0, err
 	}
 	return m.EvalMSE(pairs), nil
 }
 
+// mseToPSNR caps the quality package's conversion at 99 dB so a perfect
+// reconstruction compares finitely during the model search.
 func mseToPSNR(mse float64) float64 {
 	if mse <= 0 {
 		return 99
 	}
-	// PSNR = 10·log10(255²/MSE) with MSE already on the 0–255² scale.
-	return 10 * math.Log10(255*255/mse)
+	return quality.MSEToPSNR(mse)
 }

@@ -1,6 +1,7 @@
 package edsr
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -16,6 +17,10 @@ type Pair struct {
 	Low, High *video.RGB
 }
 
+// ErrStopped is returned by Train when TrainOptions.Stop interrupts the
+// optimization loop before all steps have run.
+var ErrStopped = errors.New("edsr: training stopped")
+
 // TrainOptions controls micro-model training.
 type TrainOptions struct {
 	Steps     int     // optimizer steps; default 200
@@ -23,6 +28,12 @@ type TrainOptions struct {
 	PatchSize int     // low-res patch edge; default 24
 	LR        float64 // Adam learning rate; default 1e-3
 	Seed      int64   // patch sampling seed
+
+	// Stop, when non-nil, is polled before every optimizer step; returning
+	// true aborts training with ErrStopped. It bounds cancellation latency
+	// to a single step without threading a context into this deterministic
+	// package (callers map ErrStopped back to their context's error).
+	Stop func() bool `json:"-"`
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {
@@ -77,6 +88,9 @@ func (m *Model) Train(pairs []Pair, opts TrainOptions) (*TrainResult, error) {
 	var tailSum float64
 	var tailN int
 	for step := 0; step < opts.Steps; step++ {
+		if opts.Stop != nil && opts.Stop() {
+			return nil, ErrStopped
+		}
 		x := tensor.New(opts.BatchSize, 3, ps, ps)
 		y := tensor.New(opts.BatchSize, 3, ps*s, ps*s)
 		for b := 0; b < opts.BatchSize; b++ {

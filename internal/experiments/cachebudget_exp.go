@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dcsr/internal/core"
+	"dcsr/internal/video"
+)
+
+// CacheBudgetCell is the outcome of one local playback session under one
+// model-cache byte budget.
+type CacheBudgetCell struct {
+	// Budget is the cache budget in bytes: -1 unbounded (the paper's
+	// Algorithm 1 default), 0 caching disabled (the §3.2.2 ablation),
+	// otherwise an LRU eviction bound.
+	Budget int64
+	// Label names the budget row in the table ("off", "1 model", …).
+	Label string
+
+	// Downloads / CacheHits / CacheMisses are the session's Algorithm 1
+	// accounting; Evictions counts models dropped to stay in budget.
+	Downloads   int
+	CacheHits   int
+	CacheMisses int
+	Evictions   int
+	// ModelBytes is the model payload downloaded over the whole session —
+	// the bandwidth price of the chosen budget.
+	ModelBytes int
+	// ResidentBytes is what the cache held when playback finished.
+	ResidentBytes int64
+	// Degraded counts segments played without SR (always 0 locally:
+	// evictions force re-downloads, never degradation).
+	Degraded int
+	// Enhanced counts enhanced I frames — identical across budgets,
+	// because the budget changes download accounting, not playback.
+	Enhanced int
+}
+
+// CacheBudgetResult is the full budget sweep plus the model-size facts
+// the budgets were derived from.
+type CacheBudgetResult struct {
+	// ModelCount and TotalModelBytes describe the prepared artifact.
+	ModelCount      int
+	TotalModelBytes int
+	// MaxModelBytes is the largest single model (the smallest budget that
+	// can cache anything at all).
+	MaxModelBytes int
+	Cells         []CacheBudgetCell
+}
+
+// ExperimentCacheBudget measures the client's byte-budgeted model cache:
+// one prepared video is played back repeatedly while sweeping the cache
+// budget from disabled through single-model to unbounded, reporting the
+// hit/miss/eviction accounting and the model bytes each budget costs.
+// The headline behaviour: an ample budget reproduces the unbounded hit
+// counts exactly, a tight budget trades evictions for re-downloads, and
+// no budget ever changes what plays (the Enhanced column is constant).
+func ExperimentCacheBudget(cfg EvalConfig) (Table, *CacheBudgetResult, error) {
+	genre := video.GenreNews
+	if len(cfg.Genres) > 0 {
+		genre = cfg.Genres[0]
+	}
+	clip := cfg.clip(genre)
+	prep, err := core.Prepare(clip.YUVFrames(), clip.FPS, cfg.serverConfig())
+	if err != nil {
+		return Table{}, nil, fmt.Errorf("experiments: cachebudget prepare: %w", err)
+	}
+
+	res := &CacheBudgetResult{ModelCount: len(prep.Models)}
+	for _, sm := range prep.Models {
+		res.TotalModelBytes += len(sm.Bytes)
+		if len(sm.Bytes) > res.MaxModelBytes {
+			res.MaxModelBytes = len(sm.Bytes)
+		}
+	}
+
+	budgets := []struct {
+		label  string
+		budget int64
+	}{
+		{"off", 0},
+		{"1 model", int64(res.MaxModelBytes)},
+		{"2 models", 2 * int64(res.MaxModelBytes)},
+		{"all models", int64(res.TotalModelBytes)},
+		{"unbounded", -1},
+	}
+
+	table := Table{
+		Title: fmt.Sprintf("Model-cache budget sweep (genre %s, %d models, %d B total)",
+			genre, res.ModelCount, res.TotalModelBytes),
+		Header: []string{"budget", "bytes", "downloads", "hits", "misses", "evictions", "modelB", "resident", "degraded", "enhanced"},
+	}
+	for _, b := range budgets {
+		pl := core.NewPlayer(prep)
+		pl.Obs = cfg.Obs
+		switch {
+		case b.budget == 0:
+			pl.UseCache = false
+		case b.budget > 0:
+			pl.CacheBudget = b.budget
+		}
+		r, err := pl.Play()
+		if err != nil {
+			return Table{}, nil, fmt.Errorf("experiments: cachebudget play (%s): %w", b.label, err)
+		}
+		cell := CacheBudgetCell{
+			Budget: b.budget, Label: b.label,
+			Downloads: r.Session.Downloads, CacheHits: r.CacheHits, CacheMisses: r.CacheMisses,
+			Evictions: r.Evictions, ModelBytes: r.Session.ModelBytes, ResidentBytes: r.CacheBytes,
+			Degraded: r.DegradedSegments, Enhanced: r.Decode.Enhanced,
+		}
+		res.Cells = append(res.Cells, cell)
+		table.Add(cell.Label, fmt.Sprintf("%d", cell.Budget),
+			fmt.Sprintf("%d", cell.Downloads), fmt.Sprintf("%d", cell.CacheHits),
+			fmt.Sprintf("%d", cell.CacheMisses), fmt.Sprintf("%d", cell.Evictions),
+			fmt.Sprintf("%d", cell.ModelBytes), fmt.Sprintf("%d", cell.ResidentBytes),
+			fmt.Sprintf("%d", cell.Degraded), fmt.Sprintf("%d", cell.Enhanced))
+	}
+	return table, res, nil
+}

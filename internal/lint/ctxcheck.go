@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// CtxCheck enforces the repository's context-threading discipline, the
+// same two rules the standard library documents for context.Context:
+// when a function takes a Context it is the first parameter (after the
+// receiver), and a Context is never stored in a struct field — a
+// context is a per-call value whose cancellation scope rarely matches an
+// object's lifetime, so storing one hides which operations it actually
+// governs. Long-lived objects that need a stop signal carry an explicit
+// hook instead (see edsr.TrainOptions.Stop). The struct-field rule can
+// be suppressed with a reasoned //lint:allow ctxcheck directive where a
+// stored context is genuinely the right design.
+type CtxCheck struct{}
+
+// Name implements Analyzer.
+func (*CtxCheck) Name() string { return "ctxcheck" }
+
+// Doc implements Analyzer.
+func (*CtxCheck) Doc() string {
+	return "context.Context is the first parameter and never a struct field"
+}
+
+// Run implements Analyzer.
+func (a *CtxCheck) Run(p *Pass) {
+	for _, f := range p.Files {
+		ctxPkg := contextImportName(f)
+		if ctxPkg == "" {
+			continue // file cannot name context.Context
+		}
+		isCtx := func(e ast.Expr) bool {
+			sel, ok := e.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Context" {
+				return false
+			}
+			id, ok := sel.X.(*ast.Ident)
+			return ok && id.Name == ctxPkg
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch t := n.(type) {
+			case *ast.FuncType:
+				checkCtxParams(p, t, isCtx)
+			case *ast.StructType:
+				for _, field := range t.Fields.List {
+					if isCtx(field.Type) {
+						p.Reportf(field.Pos(), "context.Context stored in a struct field; pass it as the first parameter of the methods that need it")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxParams reports every Context parameter that is not the
+// function's first parameter (the receiver, which ast.FuncType does not
+// carry, is exempt by construction).
+func checkCtxParams(p *Pass, ft *ast.FuncType, isCtx func(ast.Expr) bool) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies a position
+		}
+		if isCtx(field.Type) {
+			for i := 0; i < n; i++ {
+				if idx+i > 0 {
+					p.Reportf(field.Pos(), "context.Context must be the first parameter, not parameter %d", idx+i+1)
+				}
+			}
+		}
+		idx += n
+	}
+}
+
+// contextImportName returns the name under which file f can refer to the
+// context package ("" when it is not imported; the default "context"
+// unless aliased).
+func contextImportName(f *ast.File) string {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != "context" {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return "" // not addressable as a qualified type
+			}
+			return imp.Name.Name
+		}
+		return "context"
+	}
+	return ""
+}

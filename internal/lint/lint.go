@@ -16,6 +16,8 @@
 //     nil-receiver guard as the first statement
 //   - goleak — goroutines in library packages carry a visible
 //     completion signal (WaitGroup, channel, close)
+//   - ctxcheck — context.Context is always the first parameter and is
+//     never stored in a struct field
 //
 // A diagnostic is suppressed — never silenced — with a reasoned
 // directive on or directly above the offending line:
@@ -193,6 +195,7 @@ func DefaultAnalyzers(m *Module) ([]Analyzer, error) {
 			PkgPaths: map[string]bool{m.Path + "/internal/transport": true}},
 		&NilSafe{PkgPath: m.Path + "/internal/obs"},
 		&GoLeak{},
+		&CtxCheck{},
 	}, nil
 }
 

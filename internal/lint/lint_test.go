@@ -59,6 +59,9 @@ func TestFixtures(t *testing.T) {
 		{"goleak", func(path string) []Analyzer {
 			return []Analyzer{&GoLeak{}}
 		}},
+		{"ctxcheck", func(path string) []Analyzer {
+			return []Analyzer{&CtxCheck{}}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,64 @@
+// Package ctxcheck is a lint fixture for the context-discipline
+// analyzer: misplaced Context parameters, Contexts stored in struct
+// fields, and the compliant and suppressed forms.
+package ctxcheck
+
+import "context"
+
+// First is the compliant form: ctx leads.
+func First(ctx context.Context, n int) error { return ctx.Err() }
+
+// NoCtx takes no context at all; nothing to enforce.
+func NoCtx(n int) int { return n + 1 }
+
+// Second buries the context behind another parameter.
+func Second(n int, ctx context.Context) error { return ctx.Err() } // want "must be the first parameter"
+
+// Trailing declares it last of three.
+func Trailing(a, b int, ctx context.Context) error { return ctx.Err() } // want "must be the first parameter"
+
+// method receivers do not count as parameters.
+type thing struct{ n int }
+
+func (t *thing) Do(ctx context.Context) error { return ctx.Err() }
+
+func (t *thing) DoLate(n int, ctx context.Context) error { return ctx.Err() } // want "must be the first parameter"
+
+// holder stores a context in a field.
+type holder struct {
+	ctx context.Context // want "stored in a struct field"
+	n   int
+}
+
+// allowedHolder documents why its stored context is intentional.
+type allowedHolder struct {
+	//lint:allow ctxcheck fixture exercises the reasoned suppression path
+	ctx context.Context
+}
+
+// iface propagates the rule into interface method signatures.
+type iface interface {
+	Good(ctx context.Context) error
+	Bad(n int, ctx context.Context) error // want "must be the first parameter"
+}
+
+// fnField propagates the rule into func-typed fields.
+type fnField struct {
+	hook func(n int, ctx context.Context) error // want "must be the first parameter"
+}
+
+// literals are checked like declarations.
+var _ = func(n int, ctx context.Context) error { return ctx.Err() } // want "must be the first parameter"
+
+func use(ctx context.Context) {
+	_ = holder{ctx: ctx}
+	_ = allowedHolder{ctx: ctx}
+	t := &thing{}
+	_ = t.Do(ctx)
+	_ = t.DoLate(0, ctx)
+	_ = fnField{}
+	var i iface
+	_ = i
+	_ = Second(0, ctx)
+	_ = Trailing(0, 0, ctx)
+}

@@ -1,0 +1,148 @@
+package modelstore
+
+import (
+	"reflect"
+	"testing"
+
+	"dcsr/internal/obs"
+)
+
+func payload(n int) []byte { return make([]byte, n) }
+
+func TestBoundedCacheLRUEviction(t *testing.T) {
+	c := NewBoundedCache(100)
+	c.Put(0, payload(40))
+	c.Put(1, payload(40))
+	// Touch label 0 so label 1 becomes the LRU victim.
+	if _, ok := c.Get(0); !ok {
+		t.Fatal("label 0 missing")
+	}
+	evicted := c.Put(2, payload(40))
+	if !reflect.DeepEqual(evicted, []int{1}) {
+		t.Fatalf("evicted %v, want [1]", evicted)
+	}
+	if c.Contains(1) {
+		t.Fatal("evicted label 1 still cached")
+	}
+	if !c.Contains(0) || !c.Contains(2) {
+		t.Fatalf("cache contents %v, want [0 2]", c.Labels())
+	}
+	if c.Bytes() != 80 {
+		t.Fatalf("Bytes = %d, want 80", c.Bytes())
+	}
+	if c.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", c.Evictions)
+	}
+}
+
+func TestBoundedCacheZeroBudgetStoresNothing(t *testing.T) {
+	c := NewBoundedCache(0)
+	if evicted := c.Put(0, payload(1)); evicted != nil {
+		t.Fatalf("zero-budget Put evicted %v", evicted)
+	}
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("zero-budget cache holds %d entries / %d bytes", c.Len(), c.Bytes())
+	}
+	if _, ok := c.Get(0); ok {
+		t.Fatal("zero-budget cache returned a hit")
+	}
+	if c.Evictions != 0 {
+		t.Fatalf("refusal counted as eviction: %d", c.Evictions)
+	}
+}
+
+func TestBoundedCacheOversizedPayloadRefused(t *testing.T) {
+	c := NewBoundedCache(10)
+	c.Put(0, payload(6))
+	// A payload bigger than the whole budget is refused outright; the
+	// resident entry must survive (evicting it could not make room).
+	if evicted := c.Put(1, payload(11)); evicted != nil {
+		t.Fatalf("oversized Put evicted %v", evicted)
+	}
+	if c.Contains(1) {
+		t.Fatal("oversized payload was cached")
+	}
+	if !c.Contains(0) {
+		t.Fatal("resident entry lost to a refused insert")
+	}
+	if c.Evictions != 0 {
+		t.Fatalf("refusal counted as eviction: %d", c.Evictions)
+	}
+}
+
+func TestBoundedCacheUnboundedNeverEvicts(t *testing.T) {
+	c := NewBoundedCache(-1)
+	for i := 0; i < 50; i++ {
+		if evicted := c.Put(i, payload(1000)); evicted != nil {
+			t.Fatalf("unbounded cache evicted %v", evicted)
+		}
+	}
+	if c.Len() != 50 || c.Bytes() != 50000 {
+		t.Fatalf("unbounded cache holds %d entries / %d bytes", c.Len(), c.Bytes())
+	}
+}
+
+func TestBoundedCacheRefreshUpdatesBytes(t *testing.T) {
+	c := NewBoundedCache(100)
+	c.Put(0, payload(30))
+	c.Put(0, payload(50)) // refresh with a larger payload
+	if c.Len() != 1 || c.Bytes() != 50 {
+		t.Fatalf("after refresh: %d entries / %d bytes, want 1 / 50", c.Len(), c.Bytes())
+	}
+}
+
+func TestBoundedCacheMultiEviction(t *testing.T) {
+	c := NewBoundedCache(100)
+	c.Put(0, payload(40))
+	c.Put(1, payload(40))
+	// 90 bytes fits only alone: both residents must go, oldest first.
+	evicted := c.Put(2, payload(90))
+	if !reflect.DeepEqual(evicted, []int{0, 1}) {
+		t.Fatalf("evicted %v, want [0 1]", evicted)
+	}
+	if got := c.Labels(); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("cache contents %v, want [2]", got)
+	}
+}
+
+func TestBoundedCacheOnEvictAndRemove(t *testing.T) {
+	var seen []int
+	c := NewBoundedCache(10)
+	c.OnEvict = func(label int) { seen = append(seen, label) }
+	c.Put(0, payload(6))
+	c.Put(1, payload(6))
+	if !reflect.DeepEqual(seen, []int{0}) {
+		t.Fatalf("OnEvict saw %v, want [0]", seen)
+	}
+	c.Remove(1)
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("after Remove: %d entries / %d bytes", c.Len(), c.Bytes())
+	}
+	if len(seen) != 1 {
+		t.Fatalf("Remove fired OnEvict: %v", seen)
+	}
+}
+
+func TestBoundedCacheMetrics(t *testing.T) {
+	o := obs.New()
+	c := NewBoundedCache(10)
+	c.Obs = o
+	c.Put(0, payload(6))
+	if _, ok := c.Get(0); !ok {
+		t.Fatal("miss on resident label")
+	}
+	c.Put(1, payload(6)) // evicts label 0
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["modelstore_puts_total"]; got != 2 {
+		t.Errorf("modelstore_puts_total = %d, want 2", got)
+	}
+	if got := snap.Counters["modelstore_hits_total"]; got != 1 {
+		t.Errorf("modelstore_hits_total = %d, want 1", got)
+	}
+	if got := snap.Counters["modelstore_evictions_total"]; got != 1 {
+		t.Errorf("modelstore_evictions_total = %d, want 1", got)
+	}
+	if got := snap.Gauges["modelstore_bytes"]; got != 6 {
+		t.Errorf("modelstore_bytes = %d, want 6", got)
+	}
+}

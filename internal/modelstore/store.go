@@ -1,0 +1,258 @@
+// Package modelstore is the model artifact layer of dcSR: micro models
+// are trained per cluster, shipped over the network, and cached on
+// device (paper §3.2, Algorithm 1), so their serialized weights are
+// first-class artifacts with a lifecycle — produced by core.Prepare,
+// published by an origin, downloaded and evicted by clients.
+//
+// The package provides two cooperating pieces:
+//
+//   - Store, a content-addressed blob store keyed by the SHA-256 digest
+//     of the serialized weights, with an in-memory backend (Mem) and a
+//     directory backend (Disk, the layout core/persist publishes).
+//     Identical payloads dedupe automatically: two clusters that train
+//     to identical weights occupy one object.
+//   - BoundedCache, the client-side byte-budgeted LRU that replaces the
+//     boolean "have I downloaded label L" set of Algorithm 1 with real
+//     bytes under a budget; evictions force the label's next reference
+//     to re-fetch lazily.
+//
+// All backends carry the stable obs metric surface (modelstore_puts_total,
+// modelstore_hits_total, modelstore_evictions_total and the
+// modelstore_bytes gauge — see docs/OPERATIONS.md); a nil Obs disables
+// instrumentation at no cost.
+package modelstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"dcsr/internal/obs"
+)
+
+// Digest is the content address of a stored payload: its SHA-256.
+type Digest [sha256.Size]byte
+
+// DigestOf computes the content address of a payload.
+func DigestOf(data []byte) Digest { return sha256.Sum256(data) }
+
+// String renders the digest as lowercase hex (the Disk filename stem).
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// ParseDigest parses the hex form produced by Digest.String.
+func ParseDigest(s string) (Digest, error) {
+	var d Digest
+	raw, err := hex.DecodeString(s)
+	if err != nil || len(raw) != len(d) {
+		return d, fmt.Errorf("modelstore: malformed digest %q", s)
+	}
+	copy(d[:], raw)
+	return d, nil
+}
+
+// Store is a content-addressed blob store for serialized model weights.
+// Implementations are safe for concurrent use.
+type Store interface {
+	// Put stores data and returns its digest. Storing a payload that is
+	// already present is a cheap no-op (dedupe) returning the same digest.
+	Put(data []byte) (Digest, error)
+	// Get returns the payload for d, or an error satisfying
+	// errors.Is(err, os.ErrNotExist) when absent.
+	Get(d Digest) ([]byte, error)
+	// Has reports whether d is present without reading the payload.
+	Has(d Digest) bool
+	// Digests returns every stored digest in sorted (hex) order.
+	Digests() []Digest
+	// SizeBytes returns the total payload bytes currently stored.
+	SizeBytes() int64
+}
+
+// Mem is the in-memory Store backend.
+type Mem struct {
+	mu      sync.RWMutex
+	objects map[Digest][]byte
+	bytes   int64
+
+	// Obs receives modelstore_puts_total / modelstore_hits_total and the
+	// modelstore_bytes gauge; nil disables instrumentation.
+	Obs *obs.Obs
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{objects: make(map[Digest][]byte)} }
+
+// Put implements Store. The payload is copied, so the caller may reuse
+// its buffer.
+func (m *Mem) Put(data []byte) (Digest, error) {
+	d := DigestOf(data)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.objects[d]; ok {
+		m.Obs.Counter("modelstore_hits_total").Inc()
+		return d, nil // dedupe: identical weights stored once
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	m.objects[d] = cp
+	m.bytes += int64(len(cp))
+	m.Obs.Counter("modelstore_puts_total").Inc()
+	m.Obs.Gauge("modelstore_bytes").Add(int64(len(cp)))
+	return d, nil
+}
+
+// Get implements Store.
+func (m *Mem) Get(d Digest) ([]byte, error) {
+	m.mu.RLock()
+	data, ok := m.objects[d]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("modelstore: object %s: %w", d, os.ErrNotExist)
+	}
+	m.Obs.Counter("modelstore_hits_total").Inc()
+	return data, nil
+}
+
+// Has implements Store.
+func (m *Mem) Has(d Digest) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.objects[d]
+	return ok
+}
+
+// Digests implements Store.
+func (m *Mem) Digests() []Digest {
+	m.mu.RLock()
+	out := make([]Digest, 0, len(m.objects))
+	for d := range m.objects {
+		out = append(out, d)
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// SizeBytes implements Store.
+func (m *Mem) SizeBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.bytes
+}
+
+// Disk is the directory Store backend: one file per object named
+// <hex-digest>.bin, the weight encoding core/persist publishes. Writes
+// go through a temp file + rename so a crashed writer never leaves a
+// half object behind.
+type Disk struct {
+	dir string
+	mu  sync.Mutex
+
+	// Obs receives the same metric surface as Mem; nil disables it.
+	Obs *obs.Obs
+}
+
+// NewDisk opens (creating if needed) a disk store rooted at dir.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("modelstore: %w", err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *Disk) Dir() string { return s.dir }
+
+func (s *Disk) path(d Digest) string {
+	return filepath.Join(s.dir, d.String()+".bin")
+}
+
+// Put implements Store.
+func (s *Disk) Put(data []byte) (Digest, error) {
+	d := DigestOf(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := os.Stat(s.path(d)); err == nil {
+		s.Obs.Counter("modelstore_hits_total").Inc()
+		return d, nil // dedupe: the object is already on disk
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return d, fmt.Errorf("modelstore: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		//lint:allow errcheck the write already failed; closing the doomed temp file is best-effort cleanup before reporting that error
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return d, fmt.Errorf("modelstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return d, fmt.Errorf("modelstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(d)); err != nil {
+		return d, fmt.Errorf("modelstore: %w", err)
+	}
+	s.Obs.Counter("modelstore_puts_total").Inc()
+	s.Obs.Gauge("modelstore_bytes").Add(int64(len(data)))
+	return d, nil
+}
+
+// Get implements Store.
+func (s *Disk) Get(d Digest) ([]byte, error) {
+	data, err := os.ReadFile(s.path(d))
+	if err != nil {
+		return nil, fmt.Errorf("modelstore: object %s: %w", d, err)
+	}
+	s.Obs.Counter("modelstore_hits_total").Inc()
+	return data, nil
+}
+
+// Has implements Store.
+func (s *Disk) Has(d Digest) bool {
+	_, err := os.Stat(s.path(d))
+	return err == nil
+}
+
+// Digests implements Store.
+func (s *Disk) Digests() []Digest {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var out []Digest
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != ".bin" {
+			continue
+		}
+		d, err := ParseDigest(name[:len(name)-len(".bin")])
+		if err != nil {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// SizeBytes implements Store.
+func (s *Disk) SizeBytes() int64 {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	var n int64
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".bin" {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			n += info.Size()
+		}
+	}
+	return n
+}

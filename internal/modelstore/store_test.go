@@ -1,0 +1,154 @@
+package modelstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+
+	"dcsr/internal/obs"
+)
+
+// storeBackends builds one of each Store implementation for shared
+// contract tests.
+func storeBackends(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"mem": NewMem(), "disk": disk}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	for name, s := range storeBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			payload := []byte("micro model weights")
+			d, err := s.Put(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := DigestOf(payload); d != want {
+				t.Fatalf("Put digest %s, want %s", d, want)
+			}
+			if !s.Has(d) {
+				t.Fatal("Has = false after Put")
+			}
+			got, err := s.Get(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("Get = %q, want %q", got, payload)
+			}
+			if n := s.SizeBytes(); n != int64(len(payload)) {
+				t.Fatalf("SizeBytes = %d, want %d", n, len(payload))
+			}
+		})
+	}
+}
+
+func TestStoreDedupe(t *testing.T) {
+	// Two identical trained cluster models must be stored once: same
+	// digest, single object, single payload's worth of bytes.
+	for name, s := range storeBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			payload := []byte("identical cluster weights")
+			d1, err := s.Put(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2, err := s.Put(append([]byte(nil), payload...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d1 != d2 {
+				t.Fatalf("identical payloads got digests %s and %s", d1, d2)
+			}
+			if got := len(s.Digests()); got != 1 {
+				t.Fatalf("store holds %d objects, want 1 (dedupe)", got)
+			}
+			if n := s.SizeBytes(); n != int64(len(payload)) {
+				t.Fatalf("SizeBytes = %d after dedupe, want %d", n, len(payload))
+			}
+		})
+	}
+}
+
+func TestStoreGetMissing(t *testing.T) {
+	for name, s := range storeBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			_, err := s.Get(DigestOf([]byte("never stored")))
+			if !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("Get missing = %v, want os.ErrNotExist", err)
+			}
+		})
+	}
+}
+
+func TestDiskStoreReopens(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s1.Put([]byte("persisted weights"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Has(d) {
+		t.Fatal("reopened store lost the object")
+	}
+	got, err := s2.Get(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "persisted weights" {
+		t.Fatalf("reopened Get = %q", got)
+	}
+	if ds := s2.Digests(); len(ds) != 1 || ds[0] != d {
+		t.Fatalf("reopened Digests = %v", ds)
+	}
+}
+
+func TestParseDigest(t *testing.T) {
+	d := DigestOf([]byte("x"))
+	back, err := ParseDigest(d.String())
+	if err != nil || back != d {
+		t.Fatalf("ParseDigest round trip: %v %s", err, back)
+	}
+	if _, err := ParseDigest("zz"); err == nil {
+		t.Fatal("ParseDigest accepted malformed input")
+	}
+}
+
+func TestStoreMetrics(t *testing.T) {
+	o := obs.New()
+	m := NewMem()
+	m.Obs = o
+	payload := []byte("weights")
+	if _, err := m.Put(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Put(payload); err != nil { // dedupe hit
+		t.Fatal(err)
+	}
+	d := DigestOf(payload)
+	if _, err := m.Get(d); err != nil {
+		t.Fatal(err)
+	}
+	snap := o.Metrics.Snapshot()
+	if got := snap.Counters["modelstore_puts_total"]; got != 1 {
+		t.Errorf("modelstore_puts_total = %d, want 1", got)
+	}
+	if got := snap.Counters["modelstore_hits_total"]; got != 2 {
+		t.Errorf("modelstore_hits_total = %d, want 2 (dedupe + get)", got)
+	}
+	if got := snap.Gauges["modelstore_bytes"]; got != int64(len(payload)) {
+		t.Errorf("modelstore_bytes = %d, want %d", got, len(payload))
+	}
+}

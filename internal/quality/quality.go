@@ -9,6 +9,17 @@ import (
 	"dcsr/internal/video"
 )
 
+// MSEToPSNR converts a mean squared error on the 0–255 pixel scale to
+// peak signal-to-noise ratio in dB: 10·log10(255²/MSE). A zero (or
+// negative) MSE yields +Inf — a perfect reconstruction. This is the one
+// PSNR formula in the repo; every other conversion delegates here.
+func MSEToPSNR(mse float64) float64 {
+	if mse <= 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
 // PSNR returns the peak signal-to-noise ratio in dB between two RGB frames
 // of identical dimensions, computed over all three channels. Identical
 // frames yield +Inf.
@@ -22,10 +33,7 @@ func PSNR(a, b *video.RGB) float64 {
 		mse += d * d
 	}
 	mse /= float64(len(a.Pix))
-	if mse == 0 {
-		return math.Inf(1)
-	}
-	return 10 * math.Log10(255*255/mse)
+	return MSEToPSNR(mse)
 }
 
 // PSNRYUV returns luma-plane PSNR between two YUV frames.
@@ -39,10 +47,7 @@ func PSNRYUV(a, b *video.YUV) float64 {
 		mse += d * d
 	}
 	mse /= float64(len(a.Y))
-	if mse == 0 {
-		return math.Inf(1)
-	}
-	return 10 * math.Log10(255*255/mse)
+	return MSEToPSNR(mse)
 }
 
 // SSIM constants per Wang et al. 2004 with L = 255.

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"sort"
 
+	"dcsr/internal/modelstore"
 	"dcsr/internal/obs"
 )
 
@@ -122,11 +123,15 @@ type Event struct {
 
 // Session simulates a client streaming session: segments are downloaded in
 // order and each segment's micro model is fetched only on cache miss
-// (Algorithm 1). The zero value is not usable; call NewSession.
+// (Algorithm 1). The cache holds real model bytes under a byte budget
+// (modelstore.BoundedCache): when the budget is exceeded the
+// least-recently-used model is evicted, and an evicted label's next
+// reference re-fetches it lazily — same retry path as a degraded fetch,
+// driven by capacity instead of failure. The zero value is not usable;
+// call NewSession or NewSessionWithBudget.
 type Session struct {
 	manifest *Manifest
-	cache    map[int]bool
-	useCache bool
+	cache    *modelstore.BoundedCache
 
 	// Obs receives cache hit/miss and byte counters
 	// (segments_fetched_total, cache_hits_total, cache_misses_total,
@@ -157,17 +162,38 @@ type Session struct {
 	// degraded_segments_total, and the label stays uncached so its next
 	// reference retries the fetch lazily.
 	Fetcher func(label int) error
+	// FetchData, when set, performs the model download and returns the
+	// serialized weights, which are what the byte-budgeted cache holds.
+	// It takes precedence over Fetcher; error semantics are identical.
+	// When neither hook is set (or Fetcher alone succeeded) the cache
+	// stores a placeholder of the manifest-declared size, so byte
+	// accounting and eviction behave identically in simulation.
+	FetchData func(label int) ([]byte, error)
 	// DegradedSegments counts segments whose model fetch failed.
 	DegradedSegments int
 }
 
 // NewSession starts a session over manifest. When useCache is false every
-// segment re-downloads its model (the ablation of paper §3.2.2).
+// segment re-downloads its model (the ablation of paper §3.2.2). Caching
+// is unbounded, the paper's Algorithm 1 behaviour; use
+// NewSessionWithBudget to bound it.
 func NewSession(m *Manifest, useCache bool) (*Session, error) {
+	budget := int64(-1)
+	if !useCache {
+		budget = 0
+	}
+	return NewSessionWithBudget(m, budget)
+}
+
+// NewSessionWithBudget starts a session whose model cache holds at most
+// budget bytes of serialized weights (budget < 0 → unbounded, the
+// Algorithm 1 default; 0 → caching disabled, the §3.2.2 ablation; > 0 →
+// LRU eviction past the budget).
+func NewSessionWithBudget(m *Manifest, budget int64) (*Session, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	return &Session{manifest: m, cache: make(map[int]bool), useCache: useCache}, nil
+	return &Session{manifest: m, cache: modelstore.NewBoundedCache(budget)}, nil
 }
 
 // Run walks every segment in order, applying Algorithm 1, and returns the
@@ -184,33 +210,39 @@ func (s *Session) Run() int {
 func (s *Session) Step(seg SegmentInfo) Event {
 	sp := s.Trace.Child("segment_fetch")
 	sp.Set("segment", seg.Index)
+	s.cache.Obs = s.Obs // single-goroutine session; keep the cache's registry in sync
 	ev := Event{Segment: seg.Index, ModelLabel: seg.ModelLabel, SegmentBytes: seg.Bytes}
 	s.VideoBytes += seg.Bytes
 	s.Obs.Counter("segments_fetched_total").Inc()
 	s.Obs.Counter("video_bytes_total").Add(int64(seg.Bytes))
 	if seg.ModelLabel >= 0 {
-		if s.useCache && s.cache[seg.ModelLabel] {
+		if _, hit := s.cache.Get(seg.ModelLabel); hit {
 			s.CacheHits++
 			s.Obs.Counter("cache_hits_total").Inc()
 			sp.Set("cache", "hit")
 		} else {
 			s.CacheMisses++
 			s.Obs.Counter("cache_misses_total").Inc()
-			if s.Fetcher != nil {
-				if err := s.Fetcher(seg.ModelLabel); err != nil {
-					// Degrade instead of aborting: the segment plays
-					// without SR and the label stays uncached so its next
-					// reference retries the fetch (Algorithm 1's cache
-					// only ever holds successful downloads).
-					ev.Degraded = true
-					s.DegradedSegments++
-					s.Obs.Counter("model_fetch_failures_total").Inc()
-					s.Obs.Counter("degraded_segments_total").Inc()
-					sp.Set("cache", "degraded")
-					s.Events = append(s.Events, ev)
-					sp.End()
-					return ev
-				}
+			var data []byte
+			var err error
+			if s.FetchData != nil {
+				data, err = s.FetchData(seg.ModelLabel)
+			} else if s.Fetcher != nil {
+				err = s.Fetcher(seg.ModelLabel)
+			}
+			if err != nil {
+				// Degrade instead of aborting: the segment plays
+				// without SR and the label stays uncached so its next
+				// reference retries the fetch (Algorithm 1's cache
+				// only ever holds successful downloads).
+				ev.Degraded = true
+				s.DegradedSegments++
+				s.Obs.Counter("model_fetch_failures_total").Inc()
+				s.Obs.Counter("degraded_segments_total").Inc()
+				sp.Set("cache", "degraded")
+				s.Events = append(s.Events, ev)
+				sp.End()
+				return ev
 			}
 			mi := s.manifest.Models[seg.ModelLabel]
 			ev.ModelDownloaded = true
@@ -220,8 +252,13 @@ func (s *Session) Step(seg SegmentInfo) Event {
 			s.Obs.Counter("model_bytes_total").Add(int64(mi.Bytes))
 			sp.Set("cache", "miss")
 			sp.Set("model_bytes", mi.Bytes)
-			if s.useCache {
-				s.cache[seg.ModelLabel] = true
+			if data == nil {
+				// Simulation mode: no real payload, so budget accounting
+				// uses the manifest-declared size.
+				data = make([]byte, mi.Bytes)
+			}
+			if evicted := s.cache.Put(seg.ModelLabel, data); len(evicted) > 0 {
+				sp.Set("evicted", len(evicted))
 			}
 		}
 	}
@@ -235,12 +272,17 @@ func (s *Session) TotalBytes() int { return s.VideoBytes + s.ModelBytes }
 
 // CacheContents returns the sorted labels currently cached.
 func (s *Session) CacheContents() []int {
-	var labels []int
-	for l, ok := range s.cache {
-		if ok {
-			labels = append(labels, l)
-		}
+	labels := s.cache.Labels()
+	if len(labels) == 0 {
+		return nil
 	}
-	sort.Ints(labels)
 	return labels
 }
+
+// CacheBytes returns the serialized model bytes currently resident in
+// the cache.
+func (s *Session) CacheBytes() int64 { return s.cache.Bytes() }
+
+// Evictions returns how many cached models were evicted to stay within
+// the byte budget.
+func (s *Session) Evictions() int { return s.cache.Evictions }

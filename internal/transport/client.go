@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 
 	"dcsr/internal/codec"
 	"dcsr/internal/edsr"
+	"dcsr/internal/modelstore"
 	"dcsr/internal/nn"
 	"dcsr/internal/obs"
 	"dcsr/internal/video"
@@ -58,6 +60,13 @@ type Client struct {
 	// io.Closer). Without it, transport-level failures are fatal.
 	Redial func() (io.ReadWriter, error)
 
+	// CacheBudget bounds Play's micro-model cache in bytes of serialized
+	// weights: past the budget the least-recently-used model is evicted
+	// and its next reference re-downloads it (PlayStats.Evictions). 0 or
+	// negative (the default) leaves the cache unbounded — the paper's
+	// Algorithm 1 behaviour.
+	CacheBudget int64
+
 	// Log receives request failures and per-segment debug lines; nil
 	// (the default) discards them — previously client errors were
 	// silent.
@@ -85,12 +94,21 @@ func Dial(addr string) (*Client, net.Conn, error) {
 	return NewClient(conn), conn, nil
 }
 
-func (c *Client) sleepFor(d time.Duration) {
+// sleepFor blocks for the backoff duration or until ctx is cancelled,
+// whichever comes first.
+func (c *Client) sleepFor(ctx context.Context, d time.Duration) error {
 	if c.sleep != nil {
-		c.sleep(d)
-		return
+		c.sleep(d) // test hook: instantaneous
+		return ctx.Err()
 	}
-	time.Sleep(d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 func (c *Client) jitterRNG() *rand.Rand {
@@ -161,18 +179,30 @@ func (c *Client) attempt(op byte, arg uint32, timeout time.Duration) ([]byte, er
 
 // roundTrip drives one request through the retry state machine: attempt,
 // classify the failure, back off, reconnect, try again — up to
-// Retry.MaxRetries extra attempts.
-func (c *Client) roundTrip(op byte, arg uint32) ([]byte, error) {
+// Retry.MaxRetries extra attempts. Cancellation is attempt-granular: ctx
+// is checked before each attempt and interrupts backoff sleeps
+// immediately; a ctx deadline additionally tightens the per-request read
+// deadline, so an expiring context cuts short even an in-flight read.
+func (c *Client) roundTrip(ctx context.Context, op byte, arg uint32) ([]byte, error) {
 	pol := c.Retry.withDefaults()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if c.broken {
 			if err := c.reconnect(); err != nil {
 				lastErr = err
 			}
 		}
 		if !c.broken {
-			payload, err := c.attempt(op, arg, pol.Timeout)
+			timeout := pol.Timeout
+			if dl, ok := ctx.Deadline(); ok {
+				if rem := time.Until(dl); timeout == 0 || rem < timeout {
+					timeout = rem
+				}
+			}
+			payload, err := c.attempt(op, arg, timeout)
 			if err == nil {
 				return payload, nil
 			}
@@ -195,13 +225,20 @@ func (c *Client) roundTrip(op byte, arg uint32) ([]byte, error) {
 		c.StallTime += d
 		c.Log.Warn("transport: retrying request", "op", opName(op), "arg", arg,
 			"attempt", attempt+1, "backoff", d, "err", lastErr)
-		c.sleepFor(d)
+		if err := c.sleepFor(ctx, d); err != nil {
+			return nil, err
+		}
 	}
 }
 
 // Manifest fetches and parses the stream manifest.
 func (c *Client) Manifest() (*WireManifest, error) {
-	data, err := c.roundTrip(OpManifest, 0)
+	return c.ManifestCtx(context.Background())
+}
+
+// ManifestCtx is Manifest with per-request cancellation.
+func (c *Client) ManifestCtx(ctx context.Context) (*WireManifest, error) {
+	data, err := c.roundTrip(ctx, OpManifest, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +247,12 @@ func (c *Client) Manifest() (*WireManifest, error) {
 
 // Segment fetches segment i as a decodable sub-stream.
 func (c *Client) Segment(i int) (*codec.Stream, error) {
-	data, err := c.roundTrip(OpSegment, uint32(i))
+	return c.SegmentCtx(context.Background(), i)
+}
+
+// SegmentCtx is Segment with per-request cancellation.
+func (c *Client) SegmentCtx(ctx context.Context, i int) (*codec.Stream, error) {
+	data, err := c.roundTrip(ctx, OpSegment, uint32(i))
 	if err != nil {
 		return nil, err
 	}
@@ -220,18 +262,37 @@ func (c *Client) Segment(i int) (*codec.Stream, error) {
 // Model fetches and deserializes micro model label into a ready model of
 // the given configuration.
 func (c *Client) Model(label int, cfg edsr.Config) (*edsr.Model, int, error) {
-	data, err := c.roundTrip(OpModel, uint32(label))
+	m, data, err := c.modelData(context.Background(), label, cfg)
 	if err != nil {
 		return nil, 0, err
+	}
+	return m, len(data), nil
+}
+
+// ModelCtx is Model with per-request cancellation.
+func (c *Client) ModelCtx(ctx context.Context, label int, cfg edsr.Config) (*edsr.Model, int, error) {
+	m, data, err := c.modelData(ctx, label, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, len(data), nil
+}
+
+// modelData fetches micro model label, returning both the deserialized
+// model and the raw weights (what the byte-budgeted cache holds).
+func (c *Client) modelData(ctx context.Context, label int, cfg edsr.Config) (*edsr.Model, []byte, error) {
+	data, err := c.roundTrip(ctx, OpModel, uint32(label))
+	if err != nil {
+		return nil, nil, err
 	}
 	m, err := edsr.New(cfg, 0)
 	if err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
 	if err := nn.LoadWeights(bytes.NewReader(data), m.Params()); err != nil {
-		return nil, 0, fmt.Errorf("transport: model %d: %w", label, err)
+		return nil, nil, fmt.Errorf("transport: model %d: %w", label, err)
 	}
-	return m, len(data), nil
+	return m, data, nil
 }
 
 // PlayStats summarizes a streamed playback session.
@@ -248,6 +309,13 @@ type PlayStats struct {
 	// transient outage degrades a bounded stretch of playback rather
 	// than the rest of the session.
 	DegradedSegments int
+	// Evictions counts models dropped from the cache to stay within
+	// Client.CacheBudget; each evicted label's next reference
+	// re-downloads it.
+	Evictions int
+	// CacheBytes is the serialized model bytes resident when playback
+	// finished (≤ CacheBudget when bounded).
+	CacheBytes int64
 }
 
 // Play streams the whole video segment by segment: fetch the sub-stream,
@@ -262,20 +330,32 @@ type PlayStats struct {
 // is marked degraded (stats.DegradedSegments, degraded_segments_total),
 // and the next segment referencing the label retries the download.
 func (c *Client) Play(enhance bool) ([]*video.YUV, *PlayStats, error) {
+	return c.PlayCtx(context.Background(), enhance)
+}
+
+// PlayCtx is Play with cancellation: ctx aborts between requests and
+// interrupts retry backoff immediately (see roundTrip for granularity).
+func (c *Client) PlayCtx(ctx context.Context, enhance bool) ([]*video.YUV, *PlayStats, error) {
 	root := c.Obs.Start("client_play")
 	defer root.End()
-	wm, err := c.Manifest()
+	wm, err := c.ManifestCtx(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
 	stats := &PlayStats{}
-	cache := make(map[int]*edsr.Model)
+	// The byte-budgeted cache tracks serialized weights (the unit the
+	// budget is denominated in); models holds the deserialized twins and
+	// is pruned in lockstep via OnEvict.
+	models := make(map[int]*edsr.Model)
+	mcache := modelstore.NewBoundedCache(clientBudget(c.CacheBudget))
+	mcache.Obs = c.Obs
+	mcache.OnEvict = func(label int) { delete(models, label) }
 	degraded := make(map[int]bool)
 	var out []*video.YUV
 	for _, seg := range wm.Segments {
 		sp := root.Child("segment_fetch")
 		sp.Set("segment", seg.Index)
-		sub, err := c.Segment(seg.Index)
+		sub, err := c.SegmentCtx(ctx, seg.Index)
 		if err != nil {
 			sp.End()
 			return nil, nil, fmt.Errorf("transport: segment %d: %w", seg.Index, err)
@@ -286,15 +366,19 @@ func (c *Client) Play(enhance bool) ([]*video.YUV, *PlayStats, error) {
 		c.Obs.Counter("video_bytes_total").Add(int64(seg.Bytes))
 		var model *edsr.Model
 		if enhance && seg.ModelLabel >= 0 {
-			if m, ok := cache[seg.ModelLabel]; ok {
-				model = m
+			if _, ok := mcache.Get(seg.ModelLabel); ok {
+				model = models[seg.ModelLabel]
 				stats.CacheHits++
 				c.Obs.Counter("cache_hits_total").Inc()
 				sp.Set("cache", "hit")
 			} else {
 				c.Obs.Counter("cache_misses_total").Inc()
-				m, n, err := c.Model(seg.ModelLabel, wm.MicroConfig)
+				m, data, err := c.modelData(ctx, seg.ModelLabel, wm.MicroConfig)
 				if err != nil {
+					if ctx.Err() != nil {
+						sp.End()
+						return nil, nil, ctx.Err()
+					}
 					// Graceful degradation: play this segment without SR
 					// rather than aborting the session; the label stays
 					// uncached so its next reference retries the fetch.
@@ -306,13 +390,16 @@ func (c *Client) Play(enhance bool) ([]*video.YUV, *PlayStats, error) {
 					c.Log.Warn("transport: model fetch failed; playing segment without SR",
 						"segment", seg.Index, "model", seg.ModelLabel, "err", err)
 				} else {
-					cache[seg.ModelLabel] = m
+					models[seg.ModelLabel] = m
+					if evicted := mcache.Put(seg.ModelLabel, data); len(evicted) > 0 {
+						sp.Set("evicted", len(evicted))
+					}
 					model = m
 					stats.ModelDownloads++
-					stats.ModelBytes += n
-					c.Obs.Counter("model_bytes_total").Add(int64(n))
+					stats.ModelBytes += len(data)
+					c.Obs.Counter("model_bytes_total").Add(int64(len(data)))
 					sp.Set("cache", "miss")
-					sp.Set("model_bytes", n)
+					sp.Set("model_bytes", len(data))
 					if degraded[seg.ModelLabel] {
 						delete(degraded, seg.ModelLabel)
 						c.Log.Info("transport: degraded model recovered",
@@ -338,5 +425,16 @@ func (c *Client) Play(enhance bool) ([]*video.YUV, *PlayStats, error) {
 		stats.Enhanced += dec.Stats.Enhanced
 		out = append(out, frames...)
 	}
+	stats.Evictions = mcache.Evictions
+	stats.CacheBytes = mcache.Bytes()
 	return out, stats, nil
+}
+
+// clientBudget maps Client.CacheBudget's zero-value-is-unbounded
+// convention onto BoundedCache's (where 0 disables caching entirely).
+func clientBudget(b int64) int64 {
+	if b <= 0 {
+		return -1
+	}
+	return b
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -189,6 +190,41 @@ func opName(op byte) string {
 		return "model"
 	default:
 		return "unknown"
+	}
+}
+
+// Shutdown stops the listener and waits for in-flight connections to
+// finish on their own — the graceful counterpart to Close. If ctx
+// expires first, the remaining connections are force-closed (Close's
+// behaviour), the drain completes, and ctx's error is returned. A client
+// that simply stays connected counts as in-flight, so callers should
+// always pass a context with a deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.wg.Wait()
+	}()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			//lint:allow errcheck force-closing stragglers past the drain deadline; their goroutines report the resulting errors
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
 	}
 }
 

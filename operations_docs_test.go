@@ -57,11 +57,27 @@ func TestOperationsDocMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Local playback: session accounting plus codec decode/enhance.
+	// Local playback: session accounting plus codec decode/enhance. The
+	// unbounded cache registers the modelstore put/hit counters and the
+	// resident-bytes gauge.
 	player := core.NewPlayer(prep)
 	player.Obs = o
 	if _, err := player.Play(); err != nil {
 		t.Fatal(err)
+	}
+
+	// Bounded playback: a budget that fits a single model forces LRU
+	// evictions and lazy re-downloads (modelstore_evictions_total).
+	bounded := core.NewPlayer(prep)
+	bounded.Obs = o
+	for _, sm := range prep.Models {
+		bounded.CacheBudget = int64(len(sm.Bytes))
+		break
+	}
+	if res, err := bounded.Play(); err != nil {
+		t.Fatal(err)
+	} else if res.Evictions == 0 {
+		t.Fatal("bounded playback produced no evictions; doc-coverage run is incomplete")
 	}
 
 	// TCP serve (registers the open-conns gauge) with fault injection on
