@@ -10,9 +10,15 @@ GO ?= go
 # default 10m per-package limit under race instrumentation; the longer
 # -timeout covers it without masking hangs elsewhere. The golden test
 # runs first and by name: staged Prepare must stay bit-identical to the
-# single-pass pipeline before anything else is worth checking.
+# single-pass pipeline before anything else is worth checking. The wire
+# interop and window-rotation tests run next, also by name: they pin the
+# trace-frame compatibility contract (old↔new peers in both directions)
+# and the fake-clock determinism of the rolling-window metrics before
+# the full race sweep repeats them among everything else.
 verify: build vet lint
 	$(GO) test -run 'TestPrepareGoldenEquivalence' -v ./internal/core/
+	$(GO) test -run 'TestWireTraceCompat' -v ./internal/transport/
+	$(GO) test -run 'TestWindowedCounterRotationDeterminism' -v ./internal/obs/
 	$(GO) test -race -timeout 30m ./...
 
 build:

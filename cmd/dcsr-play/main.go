@@ -13,10 +13,17 @@
 // -fault-delay, -fault-seed) and the client's fault tolerance configured
 // (-retries, -timeout); see docs/OPERATIONS.md.
 //
+// -trace prints the playback's span tree as JSON when it finishes. Over
+// -addr the client also propagates its trace context on the wire, so the
+// printed trace ID can be looked up on the origin's observability
+// endpoint (`/debug/trace?id=<trace_id>`) to see the same session from
+// the server's side, attempt by attempt.
+//
 // Usage:
 //
 //	dcsr-play -in /tmp/video1 -genre news -w 80 -h 48 -seed 7
 //	dcsr-play -addr :8990 -rate 65536 -fault-drop 0.2 -retries 3 -timeout 2s
+//	dcsr-play -addr :8990 -retries 2 -trace
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 
 	"dcsr/internal/core"
 	"dcsr/internal/faultnet"
+	"dcsr/internal/obs"
 	"dcsr/internal/quality"
 	"dcsr/internal/transport"
 	"dcsr/internal/video"
@@ -49,6 +57,7 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "with -addr: fault-injection PRNG seed")
 	retries := flag.Int("retries", 0, "with -addr: retry budget per request (0 = fail fast)")
 	timeout := flag.Duration("timeout", 0, "with -addr: per-request deadline (0 = none)")
+	trace := flag.Bool("trace", false, "print the playback's span tree; with -addr the trace ID is queryable on the origin's /debug/trace?id=")
 	flag.Parse()
 
 	if *addr != "" {
@@ -56,6 +65,7 @@ func main() {
 			addr: *addr, rate: *rate,
 			faultDrop: *faultDrop, faultDelay: *faultDelay, faultSeed: *faultSeed,
 			retries: *retries, timeout: *timeout, cacheBudget: *cacheBudget,
+			trace: *trace,
 		})
 		return
 	}
@@ -75,11 +85,17 @@ func main() {
 	player := core.NewPlayer(prep)
 	player.UseCache = !*noCache
 	player.CacheBudget = *cacheBudget
+	var o *obs.Obs
+	if *trace {
+		o = obs.New()
+		player.Obs = o
+	}
 	res, err := player.Play()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dcsr-play: %v\n", err)
 		os.Exit(1)
 	}
+	printTraces(o)
 	fmt.Printf("decoded %d frames (%d I, %d P, %d B), %d I frames enhanced\n",
 		res.Decode.Frames(), res.Decode.IFrames, res.Decode.PFrames, res.Decode.BFrames, res.Decode.Enhanced)
 	fmt.Printf("downloaded: video %d B + models %d B = %d B (%d model downloads, %d cache hits)\n",
@@ -143,6 +159,26 @@ type netOptions struct {
 	retries     int
 	timeout     time.Duration
 	cacheBudget int64
+	trace       bool
+}
+
+// printTraces renders every retained root span as indented JSON, with a
+// pointer from each trace ID to the origin-side lookup. A nil Obs (the
+// -trace flag unset) prints nothing.
+func printTraces(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	for _, root := range o.Trace.Traces() {
+		if root.TraceID != "" {
+			fmt.Printf("trace %s (server-side spans: /debug/trace?id=%s on the origin's -obs-addr)\n",
+				root.TraceID, root.TraceID)
+		}
+	}
+	if _, err := os.Stdout.Write(o.Trace.TracesJSON()); err != nil {
+		fmt.Fprintf(os.Stderr, "dcsr-play: %v\n", err)
+	}
+	fmt.Println()
 }
 
 // playFromNetwork streams from a dcsr-serve origin over TCP, optionally
@@ -186,6 +222,11 @@ func playFromNetwork(opt netOptions) {
 		Timeout:    opt.timeout,
 		Seed:       opt.faultSeed,
 	}
+	var o *obs.Obs
+	if opt.trace {
+		o = obs.New()
+		client.Obs = o
+	}
 	frames, stats, err := client.Play(true)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dcsr-play: %v\n", err)
@@ -203,4 +244,5 @@ func playFromNetwork(opt netOptions) {
 		fmt.Printf("fault recovery: %d segments degraded (no SR), %d retries, %d timeouts, %d reconnects, %v stalled\n",
 			stats.DegradedSegments, client.Retries, client.Timeouts, client.Reconnects, client.StallTime)
 	}
+	printTraces(o)
 }

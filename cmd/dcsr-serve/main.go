@@ -10,7 +10,10 @@
 //	dcsr-serve -genre news -obs-addr 127.0.0.1:9090   # + debug sidecar
 //
 // With -obs-addr set, a debug HTTP sidecar serves /metrics (text, or
-// ?format=json), /debug/trace (last Prepare/Play span trees as JSON)
+// ?format=json — including the rolling-window rate and p50/p95/p99
+// series), /debug/trace (last Prepare/Play span trees as JSON),
+// /debug/trace?id=<trace_id> (every retained server-side span of one
+// wire-propagated trace — the ID a `dcsr-play -trace` client prints)
 // and the standard /debug/pprof endpoints; structured logs go to
 // stderr. Without it (the default) behaviour and output are unchanged.
 package main

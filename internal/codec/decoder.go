@@ -137,8 +137,9 @@ type Decoder struct {
 	Mode     Propagation
 	Stats    DecodeStats
 	// Obs, when set, records codec_frames_decoded_total,
-	// codec_iframes_enhanced_total and the I-frame-enhance latency
-	// histogram codec_enhance_seconds.
+	// codec_iframes_enhanced_total and the I-frame-enhance latency as
+	// both the lifetime histogram codec_enhance_seconds and its
+	// rolling-window twin codec_enhance_window_seconds.
 	Obs *obs.Obs
 	// Now supplies the clock for the enhance-latency histogram; nil
 	// means time.Now. Tests inject a fake clock to make the recorded
@@ -154,6 +155,7 @@ func (d *Decoder) Decode(s *Stream) ([]*video.YUV, error) {
 	// Resolve metric handles once per decode; all are nil (no-op) when
 	// Obs is unset, so the per-frame path stays branch-cheap.
 	enhHist := d.Obs.Histogram("codec_enhance_seconds")
+	enhWHist := d.Obs.WindowedHistogram("codec_enhance_window_seconds")
 	enhCtr := d.Obs.Counter("codec_iframes_enhanced_total")
 	frameCtr := d.Obs.Counter("codec_frames_decoded_total")
 	now := d.Now
@@ -193,7 +195,9 @@ func (d *Decoder) Decode(s *Stream) ([]*video.YUV, error) {
 				// enhancements count and are timed.
 				if enh != f {
 					if enhHist != nil {
-						enhHist.Observe(now().Sub(t0).Seconds())
+						elapsed := now().Sub(t0).Seconds()
+						enhHist.Observe(elapsed)
+						enhWHist.Observe(elapsed)
 					}
 					enhCtr.Inc()
 					d.Stats.Enhanced++

@@ -1,7 +1,8 @@
 // Package faultnet injects deterministic, seedable network faults into
 // any io.ReadWriter, so the delivery path can be tested (and benchmarked)
 // against the failure modes a real CDN edge exhibits: lost responses,
-// long-tail latency, truncated payloads and hard I/O errors.
+// long-tail latency, truncated payloads, hard I/O errors, and requests
+// lost or cut mid-frame before ever reaching the server.
 //
 // The unit of fault injection is the request/response exchange, not the
 // byte: every Write on a wrapped connection is treated as one outbound
@@ -56,6 +57,19 @@ const (
 	// KindError fails reads immediately with an injected I/O error,
 	// without consuming the response.
 	KindError
+	// KindDropRequest loses the request before it reaches the server:
+	// the write is swallowed (reported as successful — the bytes left
+	// the client), the server never sees the frame, and every read
+	// until the next request fails wrapping ErrInjected. Unlike
+	// KindDrop, the server performs no work for the request.
+	KindDropRequest
+	// KindTruncateRequest forwards only Config.TruncateAfter bytes of
+	// the request frame to the server, then reports the write as
+	// successful; reads fail wrapping ErrInjected. The server is left
+	// holding a partial frame — closing the connection on the client
+	// side is what surfaces it there (io.ErrUnexpectedEOF), exactly
+	// like a mid-frame network cut.
+	KindTruncateRequest
 	numKinds int = iota
 )
 
@@ -72,6 +86,10 @@ func (k Kind) String() string {
 		return "truncate"
 	case KindError:
 		return "error"
+	case KindDropRequest:
+		return "drop_request"
+	case KindTruncateRequest:
+		return "truncate_request"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -88,7 +106,9 @@ type Config struct {
 
 	// DropRate, DelayRate, TruncateRate and ErrorRate are per-request
 	// probabilities in [0,1], evaluated cumulatively in that order
-	// against one uniform draw per request.
+	// against one uniform draw per request. The request-side kinds
+	// (KindDropRequest, KindTruncateRequest) have no rate; reach them
+	// through Script or Decide.
 	DropRate     float64
 	DelayRate    float64
 	TruncateRate float64
@@ -212,20 +232,32 @@ type Conn struct {
 	remaining int // truncate budget
 }
 
-// Write passes the request frame through and rolls the fault that will
-// apply to its response.
+// Write rolls the fault for this exchange, then passes the request
+// frame through — in full, partially (KindTruncateRequest) or not at
+// all (KindDropRequest). The fault is decided before the inner write so
+// request-side faults can intercept the frame; a request whose inner
+// write fails still consumes its schedule index.
 func (c *Conn) Write(p []byte) (int, error) {
-	n, err := c.inner.Write(p)
-	if err != nil {
-		return n, err
-	}
 	idx, kind := c.in.decide(p)
 	c.mu.Lock()
 	c.reqIndex, c.kind = idx, kind
 	c.delayed = false
 	c.remaining = c.in.cfg.TruncateAfter
 	c.mu.Unlock()
-	return n, nil
+	switch kind {
+	case KindDropRequest:
+		return len(p), nil // swallowed: the bytes left the client, the server never sees them
+	case KindTruncateRequest:
+		limit := c.in.cfg.TruncateAfter
+		if limit > len(p) {
+			limit = len(p)
+		}
+		if _, err := c.inner.Write(p[:limit]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	return c.inner.Write(p)
 }
 
 // Read applies the pending response fault, passing through when none.
@@ -239,6 +271,13 @@ func (c *Conn) Read(p []byte) (int, error) {
 	case KindError:
 		c.mu.Unlock()
 		return 0, fmt.Errorf("faultnet: read error on request %d: %w", idx, ErrInjected)
+	case KindDropRequest:
+		c.mu.Unlock()
+		return 0, fmt.Errorf("faultnet: request %d dropped before the server: %w", idx, ErrInjected)
+	case KindTruncateRequest:
+		c.mu.Unlock()
+		return 0, fmt.Errorf("faultnet: request %d truncated after %d bytes: %w",
+			idx, c.in.cfg.TruncateAfter, ErrInjected)
 	case KindDelay:
 		if !c.delayed {
 			c.delayed = true

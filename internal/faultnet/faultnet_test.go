@@ -210,10 +210,71 @@ func TestKindStrings(t *testing.T) {
 	want := map[Kind]string{
 		KindNone: "none", KindDrop: "drop", KindDelay: "delay",
 		KindTruncate: "truncate", KindError: "error",
+		KindDropRequest: "drop_request", KindTruncateRequest: "truncate_request",
 	}
 	for k, s := range want {
 		if k.String() != s {
 			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
 		}
+	}
+}
+
+// recordingConn captures every write so request-side faults can be
+// checked against what actually reached "the server".
+type recordingConn struct {
+	writes [][]byte
+}
+
+func (r *recordingConn) Write(p []byte) (int, error) {
+	r.writes = append(r.writes, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+func (r *recordingConn) Read(p []byte) (int, error) { return 0, io.EOF }
+
+func TestDropRequestNeverReachesServer(t *testing.T) {
+	inner := &recordingConn{}
+	inj := New(Config{Script: map[int]Kind{0: KindDropRequest}})
+	conn := inj.Wrap(inner)
+
+	n, err := conn.Write([]byte("request-frame"))
+	if err != nil || n != 13 {
+		t.Fatalf("write = %d, %v; the drop must look like a successful send", n, err)
+	}
+	if len(inner.writes) != 0 {
+		t.Fatalf("server received %d frames, want 0", len(inner.writes))
+	}
+	if _, err := conn.Read(make([]byte, 8)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after dropped request = %v, want ErrInjected", err)
+	}
+	// The next request passes through and its response is readable.
+	if _, err := conn.Write([]byte("next")); err != nil {
+		t.Fatal(err)
+	}
+	if len(inner.writes) != 1 || string(inner.writes[0]) != "next" {
+		t.Fatalf("server writes = %q, want only the second request", inner.writes)
+	}
+	if c := inj.Counts(); c["drop_request"] != 1 || c["none"] != 1 {
+		t.Errorf("Counts() = %v", c)
+	}
+}
+
+func TestTruncateRequestForwardsPrefixOnly(t *testing.T) {
+	inner := &recordingConn{}
+	inj := New(Config{Script: map[int]Kind{0: KindTruncateRequest}, TruncateAfter: 4})
+	conn := inj.Wrap(inner)
+
+	n, err := conn.Write([]byte("request-frame"))
+	if err != nil || n != 13 {
+		t.Fatalf("write = %d, %v; truncation must look like a successful send", n, err)
+	}
+	if len(inner.writes) != 1 || string(inner.writes[0]) != "requ" {
+		t.Fatalf("server received %q, want the 4-byte prefix", inner.writes)
+	}
+	if _, err := conn.Read(make([]byte, 8)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read after truncated request = %v, want ErrInjected", err)
+	}
+	if c := inj.Counts(); c["truncate_request"] != 1 {
+		t.Errorf("Counts() = %v", c)
 	}
 }

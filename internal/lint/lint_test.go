@@ -39,6 +39,7 @@ func TestFixtures(t *testing.T) {
 		{"metricnames", func(path string) []Analyzer {
 			return []Analyzer{&MetricNames{Docs: map[string]bool{
 				"frames_total": true, "enhance_seconds": true, "queue_depth": true,
+				"fetches_window_total": true, "rtt_window_seconds": true,
 			}}}
 		}},
 		{"nodeterm", func(path string) []Analyzer {

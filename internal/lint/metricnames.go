@@ -15,10 +15,12 @@ import (
 // metricConstructors maps obs constructor method names to the metric
 // kind they create.
 var metricConstructors = map[string]string{
-	"Counter":       "counter",
-	"Gauge":         "gauge",
-	"Histogram":     "histogram",
-	"HistogramWith": "histogram",
+	"Counter":           "counter",
+	"Gauge":             "gauge",
+	"Histogram":         "histogram",
+	"HistogramWith":     "histogram",
+	"WindowedCounter":   "windowed counter",
+	"WindowedHistogram": "windowed histogram",
 }
 
 // snakeCase is the naming convention for every metric.
@@ -98,6 +100,16 @@ func (a *MetricNames) Run(p *Pass) {
 			case "gauge":
 				if strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_seconds") {
 					p.Reportf(arg.Pos(), "gauge %q must not use a counter/histogram suffix", name)
+					return true
+				}
+			case "windowed counter":
+				if !strings.HasSuffix(name, "_window_total") {
+					p.Reportf(arg.Pos(), "windowed counter %q must end in _window_total so the rolling-window series is distinguishable from its lifetime twin", name)
+					return true
+				}
+			case "windowed histogram":
+				if !strings.HasSuffix(name, "_window_seconds") && !strings.HasSuffix(name, "_window_bytes") {
+					p.Reportf(arg.Pos(), "windowed histogram %q must end in _window_seconds or _window_bytes so the rolling-window series is distinguishable from its lifetime twin", name)
 					return true
 				}
 			}

@@ -12,6 +12,7 @@ import (
 var obsHandleTypes = map[string]bool{
 	"Obs": true, "Registry": true, "Counter": true, "Gauge": true,
 	"Histogram": true, "Tracer": true, "Span": true, "Logger": true,
+	"WindowedCounter": true, "WindowedHistogram": true, "TraceBuffer": true,
 }
 
 // NilSafe verifies that every exported pointer-receiver method on an obs

@@ -15,16 +15,20 @@ func Good(o *obs.Obs, reg *obs.Registry) {
 	o.Counter("frames_total").Inc()
 	reg.Gauge("queue_depth").Add(1)
 	o.Histogram("enhance" + suffix).Observe(0.5)
+	o.WindowedCounter("fetches_window_total").Inc()
+	reg.WindowedHistogram("rtt_window_seconds").Observe(0.01)
 }
 
 // Bad covers one violation per rule.
 func Bad(o *obs.Obs, name string) {
-	o.Counter(name).Inc()                     // want "compile-time string constant"
-	o.Counter("BadName_total").Inc()          // want "not snake_case"
-	o.Counter("frames").Inc()                 // want "must end in _total"
-	o.Histogram("enhance_latency").Observe(1) // want "unit suffix"
-	o.Gauge("queue_total").Add(2)             // want "counter/histogram suffix"
-	o.Counter("undocumented_total").Inc()     // want "not documented in docs/OPERATIONS.md"
+	o.Counter(name).Inc()                            // want "compile-time string constant"
+	o.Counter("BadName_total").Inc()                 // want "not snake_case"
+	o.Counter("frames").Inc()                        // want "must end in _total"
+	o.Histogram("enhance_latency").Observe(1)        // want "unit suffix"
+	o.Gauge("queue_total").Add(2)                    // want "counter/histogram suffix"
+	o.Counter("undocumented_total").Inc()            // want "not documented in docs/OPERATIONS.md"
+	o.WindowedCounter("fetches_total").Inc()         // want "must end in _window_total"
+	o.WindowedHistogram("rtt_seconds").Observe(0.01) // want "must end in _window_seconds or _window_bytes"
 }
 
 // Suppressed shows both directive placements.

@@ -12,7 +12,10 @@ import (
 //	/metrics        — plain-text metric lines; ?format=json for a
 //	                  structured Snapshot
 //	/debug/trace    — JSON array of the most recent root span trees
-//	                  (?n=K limits to the last K traces)
+//	                  (?n=K limits to the last K traces);
+//	                  ?id=<16-hex-digit trace ID> instead returns every
+//	                  retained request span of that trace from the
+//	                  cross-process trace buffer (404 if aged out)
 //	/debug/pprof/…  — the standard net/http/pprof endpoints
 //
 // The handler is safe to serve while the pipeline is running; snapshots
@@ -33,6 +36,25 @@ func (o *Obs) Handler() http.Handler {
 		writeBody(w, []byte(snap.Text()))
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if idStr := r.URL.Query().Get("id"); idStr != "" {
+			id, err := strconv.ParseUint(idStr, 16, 64)
+			if err != nil {
+				http.Error(w, "bad trace id: want 16 hex digits", http.StatusBadRequest)
+				return
+			}
+			spans := o.TraceBuf.Trace(id)
+			if spans == nil {
+				http.Error(w, "trace not found (aged out or never seen)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			data, err := json.MarshalIndent(spans, "", "  ")
+			if err != nil {
+				data = []byte("[]")
+			}
+			writeBody(w, data)
+			return
+		}
 		traces := o.Trace.Traces()
 		if s := r.URL.Query().Get("n"); s != "" {
 			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(traces) {

@@ -206,18 +206,22 @@ type HistogramStats struct {
 // methods are safe for concurrent use; a nil *Registry returns nil
 // (no-op) handles.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	mu        sync.RWMutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Histogram
+	wcounters map[string]*WindowedCounter
+	whists    map[string]*WindowedHistogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
+		counters:  make(map[string]*Counter),
+		gauges:    make(map[string]*Gauge),
+		hists:     make(map[string]*Histogram),
+		wcounters: make(map[string]*WindowedCounter),
+		whists:    make(map[string]*WindowedHistogram),
 	}
 }
 
@@ -289,27 +293,69 @@ func (r *Registry) HistogramWith(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// WindowedCounter returns the named rolling-window counter with the
+// default window (DefaultWindow), creating it on first use. Windowed
+// metric names carry a `window` component by convention (enforced by
+// the metricnames lint) so the time-resolved series are visibly
+// distinct from their lifetime twins on /metrics.
+func (r *Registry) WindowedCounter(name string) *WindowedCounter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.wcounters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.wcounters[name]; c == nil {
+		c = newWindowedCounter(DefaultWindow)
+		r.wcounters[name] = c
+	}
+	return c
+}
+
+// WindowedHistogram returns the named rolling-window histogram with the
+// default (latency) bounds and window, creating it on first use.
+func (r *Registry) WindowedHistogram(name string) *WindowedHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.whists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.whists[name]; h == nil {
+		h = newWindowedHistogram(defaultBounds, DefaultWindow)
+		r.whists[name] = h
+	}
+	return h
+}
+
 // Snapshot is a point-in-time copy of every metric, JSON-marshalable.
 type Snapshot struct {
 	Counters   map[string]int64          `json:"counters"`
 	Gauges     map[string]int64          `json:"gauges"`
 	Histograms map[string]HistogramStats `json:"histograms"`
+	// WindowedCounters and WindowedHistograms are the time-resolved
+	// series: rates and quantiles over the last rolling window only,
+	// alongside the lifetime values above.
+	WindowedCounters   map[string]WindowedCounterStats   `json:"windowed_counters,omitempty"`
+	WindowedHistograms map[string]WindowedHistogramStats `json:"windowed_histograms,omitempty"`
 }
 
 // Snapshot copies the current value of every registered metric.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
-		return Snapshot{
-			Counters:   map[string]int64{},
-			Gauges:     map[string]int64{},
-			Histograms: map[string]HistogramStats{},
-		}
+		return emptySnapshot()
 	}
-	s := Snapshot{
-		Counters:   map[string]int64{},
-		Gauges:     map[string]int64{},
-		Histograms: map[string]HistogramStats{},
-	}
+	s := emptySnapshot()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for name, c := range r.counters {
@@ -321,7 +367,25 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, h := range r.hists {
 		s.Histograms[name] = h.Stats()
 	}
+	for name, c := range r.wcounters {
+		s.WindowedCounters[name] = c.Stats()
+	}
+	for name, h := range r.whists {
+		s.WindowedHistograms[name] = h.Stats()
+	}
 	return s
+}
+
+// emptySnapshot returns a Snapshot with every map initialized, so a nil
+// registry still yields a marshal-safe value.
+func emptySnapshot() Snapshot {
+	return Snapshot{
+		Counters:           map[string]int64{},
+		Gauges:             map[string]int64{},
+		Histograms:         map[string]HistogramStats{},
+		WindowedCounters:   map[string]WindowedCounterStats{},
+		WindowedHistograms: map[string]WindowedHistogramStats{},
+	}
 }
 
 // Text renders the snapshot as sorted plain-text lines in a
@@ -358,6 +422,31 @@ func (s Snapshot) Text() string {
 		if h.Count > 0 {
 			fmt.Fprintf(&b, "%s_min %g\n", n, h.Min)
 			fmt.Fprintf(&b, "%s_max %g\n", n, h.Max)
+			fmt.Fprintf(&b, "%s_p50 %g\n", n, h.P50)
+			fmt.Fprintf(&b, "%s_p95 %g\n", n, h.P95)
+			fmt.Fprintf(&b, "%s_p99 %g\n", n, h.P99)
+		}
+	}
+	names = names[:0]
+	for n := range s.WindowedCounters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := s.WindowedCounters[n]
+		fmt.Fprintf(&b, "%s %d\n", n, c.Count)
+		fmt.Fprintf(&b, "%s_rate %g\n", n, c.RatePerSec)
+	}
+	names = names[:0]
+	for n := range s.WindowedHistograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.WindowedHistograms[n]
+		fmt.Fprintf(&b, "%s_count %d\n", n, h.Count)
+		fmt.Fprintf(&b, "%s_rate %g\n", n, h.RatePerSec)
+		if h.Count > 0 {
 			fmt.Fprintf(&b, "%s_p50 %g\n", n, h.P50)
 			fmt.Fprintf(&b, "%s_p95 %g\n", n, h.P95)
 			fmt.Fprintf(&b, "%s_p99 %g\n", n, h.P99)

@@ -28,21 +28,33 @@
 //	transport_model_seconds, transport_unknown_seconds (histograms),
 //	transport_client_requests_total, transport_client_bytes_up_total,
 //	transport_client_bytes_down_total, transport_client_retries_total,
-//	transport_client_timeouts_total, transport_client_reconnects_total.
+//	transport_client_timeouts_total, transport_client_reconnects_total,
+//	transport_client_rtt_seconds (histogram),
+//	and the time-resolved rolling-window series
+//	transport_requests_window_total, segments_fetched_window_total
+//	(windowed counters), transport_manifest_window_seconds,
+//	transport_segment_window_seconds, transport_model_window_seconds,
+//	transport_client_rtt_window_seconds, codec_enhance_window_seconds
+//	(windowed histograms).
 package obs
 
-// Obs bundles the three observability facilities a component may use.
+// Obs bundles the observability facilities a component may use.
 // The zero value (and a nil pointer) disables everything.
 type Obs struct {
 	Metrics *Registry
 	Trace   *Tracer
 	Log     *Logger
+	// TraceBuf retains recently completed cross-process request spans
+	// (the transport server's half of wire trace propagation), looked
+	// up by trace ID on /debug/trace?id=.
+	TraceBuf *TraceBuffer
 }
 
-// New returns an Obs with a fresh registry and a tracer keeping the last
-// 32 root spans. Log is left nil (no-op); set it to enable logging.
+// New returns an Obs with a fresh registry, a tracer keeping the last
+// 32 root spans, and a trace buffer keeping the last 256 request
+// spans. Log is left nil (no-op); set it to enable logging.
 func New() *Obs {
-	return &Obs{Metrics: NewRegistry(), Trace: NewTracer(32)}
+	return &Obs{Metrics: NewRegistry(), Trace: NewTracer(32), TraceBuf: NewTraceBuffer(256)}
 }
 
 // Counter returns the named counter, or nil (a no-op) when o is nil.
@@ -69,6 +81,24 @@ func (o *Obs) Histogram(name string) *Histogram {
 	return o.Metrics.Histogram(name)
 }
 
+// WindowedCounter returns the named rolling-window counter, or nil (a
+// no-op) when o is nil.
+func (o *Obs) WindowedCounter(name string) *WindowedCounter {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.WindowedCounter(name)
+}
+
+// WindowedHistogram returns the named rolling-window histogram with
+// default bounds and window, or nil (a no-op) when o is nil.
+func (o *Obs) WindowedHistogram(name string) *WindowedHistogram {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.WindowedHistogram(name)
+}
+
 // Start opens a new root span on the tracer, or returns nil when o is
 // nil (all Span operations on nil are no-ops).
 func (o *Obs) Start(name string) *Span {
@@ -76,6 +106,15 @@ func (o *Obs) Start(name string) *Span {
 		return nil
 	}
 	return o.Trace.Start(name)
+}
+
+// RecordTrace retains a completed span in the trace buffer for
+// /debug/trace?id= lookup; a no-op when o (or its buffer) is nil.
+func (o *Obs) RecordTrace(s *Span) {
+	if o == nil {
+		return
+	}
+	o.TraceBuf.Record(s)
 }
 
 // Logger returns the bundle's logger (possibly nil, which is a no-op).

@@ -2,18 +2,58 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// idCounter drives trace/span ID generation: a process-unique seed
+// (stamped from the clock at init) advanced by a large odd constant and
+// mixed through splitmix64, so IDs are cheap, allocation-free, unique
+// within a process and well-distributed across processes. IDs are
+// identifiers, not randomness — determinism of the pipeline's outputs
+// is untouched.
+var idCounter atomic.Uint64
+
+func init() {
+	idCounter.Store(uint64(time.Now().UnixNano()))
+}
+
+// newID returns a non-zero 64-bit identifier. Zero is reserved as the
+// wire encoding of "no trace".
+func newID() uint64 {
+	x := idCounter.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
+
+// IDString renders a trace or span ID the way /debug/trace and the
+// -trace CLI flag print them: 16 lower-case hex digits.
+func IDString(id uint64) string { return fmt.Sprintf("%016x", id) }
 
 // Span is one timed stage of a pipeline run. Spans form a tree: child
 // spans are created with Child and may be added concurrently (per-span
 // mutex), which core.Prepare relies on for its parallel per-cluster
 // training stage. A nil *Span is a no-op for every method, so call
 // sites never branch on whether tracing is enabled.
+//
+// Every span carries identity: a trace ID shared by the whole tree (and
+// propagated across the wire by internal/transport) plus its own span
+// ID and its parent's. The IDs are immutable after creation.
 type Span struct {
 	mu       sync.Mutex
 	name     string
+	traceID  uint64
+	spanID   uint64
+	parentID uint64
 	start    time.Time
 	end      time.Time
 	attrs    []Attr
@@ -27,15 +67,46 @@ type Attr struct {
 }
 
 func newSpan(name string) *Span {
-	return &Span{name: name, start: time.Now()}
+	return &Span{name: name, traceID: newID(), spanID: newID(), start: time.Now()}
 }
 
-// Child opens a sub-span. Safe to call from multiple goroutines.
+// JoinSpan opens a detached root span that joins an existing trace —
+// the server side of wire trace propagation, where the parent span
+// lives in another process. The span is not retained anywhere; record
+// it into a TraceBuffer (Obs.RecordTrace) once ended.
+func JoinSpan(name string, traceID, parentID uint64) *Span {
+	s := newSpan(name)
+	s.traceID = traceID
+	s.parentID = parentID
+	return s
+}
+
+// TraceID returns the identifier shared by every span of this trace
+// (zero on a nil span).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.traceID
+}
+
+// SpanID returns this span's own identifier (zero on a nil span).
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.spanID
+}
+
+// Child opens a sub-span sharing the parent's trace ID. Safe to call
+// from multiple goroutines.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	c := newSpan(name)
+	c.traceID = s.traceID
+	c.parentID = s.spanID
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -77,9 +148,14 @@ func (s *Span) Duration() time.Duration {
 	return s.end.Sub(s.start)
 }
 
-// SpanJSON is the exportable snapshot of a span subtree.
+// SpanJSON is the exportable snapshot of a span subtree. TraceID,
+// SpanID and ParentID are 16-hex-digit identifiers (see IDString);
+// ParentID is empty on a locally rooted span.
 type SpanJSON struct {
 	Name       string         `json:"name"`
+	TraceID    string         `json:"trace_id,omitempty"`
+	SpanID     string         `json:"span_id,omitempty"`
+	ParentID   string         `json:"parent_id,omitempty"`
 	Start      time.Time      `json:"start"`
 	DurationMS float64        `json:"duration_ms"`
 	InFlight   bool           `json:"in_flight,omitempty"`
@@ -94,6 +170,13 @@ func (s *Span) Export() SpanJSON {
 	}
 	s.mu.Lock()
 	out := SpanJSON{Name: s.name, Start: s.start}
+	if s.traceID != 0 {
+		out.TraceID = IDString(s.traceID)
+		out.SpanID = IDString(s.spanID)
+	}
+	if s.parentID != 0 {
+		out.ParentID = IDString(s.parentID)
+	}
 	if s.end.IsZero() {
 		out.InFlight = true
 		out.DurationMS = float64(time.Since(s.start)) / float64(time.Millisecond)
@@ -171,4 +254,76 @@ func (t *Tracer) TracesJSON() []byte {
 		return []byte("[]")
 	}
 	return data
+}
+
+// TraceBuffer retains the most recent completed spans in a bounded
+// ring, indexed by trace ID, so an operator can reassemble one
+// request's cross-process story after the fact: the transport server
+// records one span per traced request here, and /debug/trace?id=
+// returns every retained span of that trace. A nil *TraceBuffer is a
+// no-op recorder and an empty lookup.
+type TraceBuffer struct {
+	mu    sync.Mutex
+	cap   int
+	spans []*Span // recording order, oldest first
+}
+
+// NewTraceBuffer returns a buffer retaining the last capacity spans
+// (capacity <= 0 means 256).
+func NewTraceBuffer(capacity int) *TraceBuffer {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &TraceBuffer{cap: capacity}
+}
+
+// Record retains a completed span, evicting the oldest past capacity.
+func (b *TraceBuffer) Record(s *Span) {
+	if b == nil {
+		return
+	}
+	if s == nil {
+		return
+	}
+	b.mu.Lock()
+	b.spans = append(b.spans, s)
+	if len(b.spans) > b.cap {
+		b.spans = append(b.spans[:0], b.spans[len(b.spans)-b.cap:]...)
+	}
+	b.mu.Unlock()
+}
+
+// Len returns how many spans are currently retained.
+func (b *TraceBuffer) Len() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.spans)
+}
+
+// Trace exports every retained span belonging to traceID, in recording
+// order. The result is nil when the trace has aged out (or never hit
+// this process).
+func (b *TraceBuffer) Trace(traceID uint64) []SpanJSON {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	var match []*Span
+	for _, s := range b.spans {
+		if s.traceID == traceID {
+			match = append(match, s)
+		}
+	}
+	b.mu.Unlock()
+	out := make([]SpanJSON, 0, len(match))
+	for _, s := range match {
+		out = append(out, s.Export())
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }

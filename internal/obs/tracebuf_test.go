@@ -1,0 +1,172 @@
+// Tests for span identity, cross-process trace joining and the bounded
+// trace buffer behind /debug/trace?id=.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSpanIdentity(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.Start("play")
+	child := root.Child("segment")
+
+	if root.TraceID() == 0 || root.SpanID() == 0 {
+		t.Fatal("root span must carry non-zero identity")
+	}
+	if child.TraceID() != root.TraceID() {
+		t.Errorf("child trace ID %x != root %x", child.TraceID(), root.TraceID())
+	}
+	if child.SpanID() == root.SpanID() {
+		t.Error("child must have its own span ID")
+	}
+	child.End()
+	root.End()
+
+	out := root.Export()
+	if out.TraceID != IDString(root.TraceID()) || out.SpanID != IDString(root.SpanID()) {
+		t.Errorf("export IDs = %q/%q", out.TraceID, out.SpanID)
+	}
+	if out.ParentID != "" {
+		t.Errorf("root parent = %q, want empty", out.ParentID)
+	}
+	if len(out.Children) != 1 || out.Children[0].ParentID != out.SpanID {
+		t.Errorf("child not parented to root: %+v", out.Children)
+	}
+}
+
+func TestNewIDUniqueAndNonZero(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		id := newID()
+		if id == 0 {
+			t.Fatal("newID returned the reserved zero value")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate ID %x after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+	if got := IDString(0x1a); got != "000000000000001a" {
+		t.Errorf("IDString = %q", got)
+	}
+}
+
+func TestJoinSpan(t *testing.T) {
+	// Simulate the server side: a remote parent identified only by IDs.
+	const traceID, parentID = 0xabc, 0xdef
+	s := JoinSpan("server.segment", traceID, parentID)
+	s.Set("status", "ok")
+	s.End()
+
+	if s.TraceID() != traceID {
+		t.Errorf("trace ID = %x, want %x", s.TraceID(), traceID)
+	}
+	out := s.Export()
+	if out.ParentID != IDString(parentID) {
+		t.Errorf("parent ID = %q, want %q", out.ParentID, IDString(parentID))
+	}
+	if out.SpanID == IDString(parentID) || out.SpanID == "" {
+		t.Errorf("joined span must mint its own span ID, got %q", out.SpanID)
+	}
+}
+
+func TestTraceBufferLookupAndEviction(t *testing.T) {
+	b := NewTraceBuffer(4)
+	for i := 0; i < 6; i++ {
+		s := JoinSpan(fmt.Sprintf("req%d", i), uint64(100+i), 1)
+		s.End()
+		b.Record(s)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("len = %d, want capacity 4", b.Len())
+	}
+	// The two oldest traces were evicted.
+	if got := b.Trace(100); got != nil {
+		t.Errorf("evicted trace still retrievable: %+v", got)
+	}
+	if got := b.Trace(105); len(got) != 1 || got[0].Name != "req5" {
+		t.Errorf("trace 105 = %+v", got)
+	}
+	if got := b.Trace(0xffff); got != nil {
+		t.Errorf("unknown trace = %+v, want nil", got)
+	}
+
+	// Multiple spans of one trace come back in recording order.
+	b2 := NewTraceBuffer(8)
+	for attempt := 1; attempt <= 3; attempt++ {
+		s := JoinSpan("server.model", 0x77, uint64(attempt))
+		s.End()
+		b2.Record(s)
+	}
+	got := b2.Trace(0x77)
+	if len(got) != 3 {
+		t.Fatalf("trace spans = %d, want 3", len(got))
+	}
+	for i, sp := range got {
+		if sp.ParentID != IDString(uint64(i+1)) {
+			t.Errorf("span %d parent = %q", i, sp.ParentID)
+		}
+	}
+}
+
+func TestTraceBufferNilSafety(t *testing.T) {
+	var b *TraceBuffer
+	b.Record(JoinSpan("x", 1, 0))
+	if b.Len() != 0 || b.Trace(1) != nil {
+		t.Error("nil buffer must be an empty no-op")
+	}
+	live := NewTraceBuffer(0) // defaulted capacity
+	live.Record(nil)          // nil span ignored
+	if live.Len() != 0 {
+		t.Error("recording a nil span must be a no-op")
+	}
+	var o *Obs
+	o.RecordTrace(JoinSpan("x", 1, 0)) // must not panic
+}
+
+func TestDebugTraceByID(t *testing.T) {
+	o := New()
+	s := JoinSpan("server.segment", 0xbeef, 0x1)
+	s.Set("op", "segment")
+	s.End()
+	o.RecordTrace(s)
+
+	h := o.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?id="+IDString(0xbeef), nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var spans []SpanJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &spans); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(spans) != 1 || spans[0].Name != "server.segment" || spans[0].TraceID != IDString(0xbeef) {
+		t.Errorf("spans = %+v", spans)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?id=00000000000000aa", nil))
+	if rec.Code != 404 {
+		t.Errorf("unknown trace status = %d, want 404", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?id=nothex", nil))
+	if rec.Code != 400 {
+		t.Errorf("malformed id status = %d, want 400", rec.Code)
+	}
+
+	// Without ?id= the endpoint still serves the local root-span list.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != 200 || !strings.HasPrefix(strings.TrimSpace(rec.Body.String()), "[") {
+		t.Errorf("trace list status = %d, body %q", rec.Code, rec.Body.String())
+	}
+}

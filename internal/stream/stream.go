@@ -134,8 +134,10 @@ type Session struct {
 	cache    *modelstore.BoundedCache
 
 	// Obs receives cache hit/miss and byte counters
-	// (segments_fetched_total, cache_hits_total, cache_misses_total,
-	// video_bytes_total, model_bytes_total); nil disables them.
+	// (segments_fetched_total and its rolling-window twin
+	// segments_fetched_window_total, cache_hits_total,
+	// cache_misses_total, video_bytes_total, model_bytes_total); nil
+	// disables them.
 	Obs *obs.Obs
 	// Trace, when set, receives one "segment_fetch" child span per Step
 	// (the rows of paper Fig 7 as a trace).
@@ -214,6 +216,7 @@ func (s *Session) Step(seg SegmentInfo) Event {
 	ev := Event{Segment: seg.Index, ModelLabel: seg.ModelLabel, SegmentBytes: seg.Bytes}
 	s.VideoBytes += seg.Bytes
 	s.Obs.Counter("segments_fetched_total").Inc()
+	s.Obs.WindowedCounter("segments_fetched_window_total").Inc()
 	s.Obs.Counter("video_bytes_total").Add(int64(seg.Bytes))
 	if seg.ModelLabel >= 0 {
 		if _, hit := s.cache.Get(seg.ModelLabel); hit {

@@ -72,10 +72,27 @@ type Client struct {
 	// silent.
 	Log *obs.Logger
 	// Obs records transport_client_requests_total,
-	// transport_client_bytes_up/down_total and the fault-tolerance
-	// counters transport_client_{retries,timeouts,reconnects}_total;
-	// nil disables metrics.
+	// transport_client_bytes_up/down_total, the fault-tolerance
+	// counters transport_client_{retries,timeouts,reconnects}_total,
+	// and per-exchange round-trip latency as both the lifetime
+	// transport_client_rtt_seconds histogram and its rolling-window
+	// twin transport_client_rtt_window_seconds; nil disables metrics.
 	Obs *obs.Obs
+
+	// TraceWire enables traced ('dcT2') request frames. ManifestCtx
+	// sets it automatically when the server's manifest advertises
+	// WireManifest.Trace; it stays false against an older server, so
+	// every frame remains backward compatible. Tests (or callers that
+	// negotiated capability out of band) may set it directly.
+	TraceWire bool
+	// Trace, when non-nil, is the client-side span wire traces hang
+	// off: every roundTrip opens an attempt-numbered child span under
+	// it and — when TraceWire is set — stamps that child's identity
+	// into the request frame, so the server span parents to the exact
+	// attempt that reached it. Play manages Trace itself (the root for
+	// the manifest, the per-segment span for segment/model fetches);
+	// callers driving raw requests may set it around any exchange.
+	Trace *obs.Span
 
 	sleep func(time.Duration) // test hook; time.Sleep when nil
 	rng   *rand.Rand          // jitter PRNG, lazily seeded from Retry.Seed
@@ -142,10 +159,10 @@ func (c *Client) reconnect() error {
 }
 
 // attempt performs one request/response exchange on the current
-// connection. Transport-level failures mark the connection broken;
-// protocol rejections come back as *statusError with the connection
-// still usable.
-func (c *Client) attempt(op byte, arg uint32, timeout time.Duration) ([]byte, error) {
+// connection, framing it traced when tc carries a trace ID.
+// Transport-level failures mark the connection broken; protocol
+// rejections come back as *statusError with the connection still usable.
+func (c *Client) attempt(op byte, arg uint32, timeout time.Duration, tc TraceContext) ([]byte, error) {
 	if timeout > 0 {
 		if d, ok := c.conn.(readDeadliner); ok {
 			if err := d.SetReadDeadline(time.Now().Add(timeout)); err == nil {
@@ -154,14 +171,24 @@ func (c *Client) attempt(op byte, arg uint32, timeout time.Duration) ([]byte, er
 			}
 		}
 	}
-	if err := writeRequest(c.conn, op, arg); err != nil {
+	var t0 time.Time
+	if c.Obs != nil {
+		t0 = time.Now()
+	}
+	var err error
+	if tc.TraceID != 0 {
+		err = writeRequestTraced(c.conn, op, arg, tc)
+	} else {
+		err = writeRequest(c.conn, op, arg)
+	}
+	if err != nil {
 		c.broken = true
 		c.Log.Error("transport: client write failed", "op", opName(op), "arg", arg, "err", err)
 		return nil, err
 	}
-	c.BytesUp += reqFrameBytes
+	c.BytesUp += int(tc.frameBytes())
 	c.Obs.Counter("transport_client_requests_total").Inc()
-	c.Obs.Counter("transport_client_bytes_up_total").Add(reqFrameBytes)
+	c.Obs.Counter("transport_client_bytes_up_total").Add(tc.frameBytes())
 	status, payload, err := readResponse(c.conn)
 	if err != nil {
 		c.broken = true
@@ -170,6 +197,11 @@ func (c *Client) attempt(op byte, arg uint32, timeout time.Duration) ([]byte, er
 	}
 	c.BytesDown += respFrameBytes + len(payload)
 	c.Obs.Counter("transport_client_bytes_down_total").Add(respFrameBytes + int64(len(payload)))
+	if c.Obs != nil {
+		rtt := time.Since(t0).Seconds()
+		c.Obs.Histogram("transport_client_rtt_seconds").Observe(rtt)
+		c.Obs.WindowedHistogram("transport_client_rtt_window_seconds").Observe(rtt)
+	}
 	if status == StatusOK {
 		return payload, nil
 	}
@@ -202,18 +234,37 @@ func (c *Client) roundTrip(ctx context.Context, op byte, arg uint32) ([]byte, er
 					timeout = rem
 				}
 			}
-			payload, err := c.attempt(op, arg, timeout)
+			// Each attempt gets its own child span under the active
+			// trace, numbered so retries are distinguishable; when the
+			// wire supports it, the span's identity rides the request
+			// frame and becomes the server span's parent.
+			asp := c.Trace.Child("attempt")
+			asp.Set("op", opName(op))
+			asp.Set("attempt", attempt)
+			var tc TraceContext
+			if c.TraceWire && asp != nil {
+				tc = TraceContext{TraceID: asp.TraceID(), SpanID: asp.SpanID(), Attempt: uint8(attempt)}
+			}
+			payload, err := c.attempt(op, arg, timeout, tc)
 			if err == nil {
+				asp.Set("outcome", "ok")
+				asp.End()
 				return payload, nil
 			}
 			var se *statusError
 			if errors.As(err, &se) {
+				asp.Set("outcome", "rejected")
+				asp.Set("status", int(se.status))
+				asp.End()
 				return nil, err // deterministic rejection; never retried
 			}
 			if isTimeoutErr(err) {
 				c.Timeouts++
 				c.Obs.Counter("transport_client_timeouts_total").Inc()
 			}
+			asp.Set("outcome", "error")
+			asp.Set("error", err.Error())
+			asp.End()
 			lastErr = err
 		}
 		if attempt >= pol.MaxRetries {
@@ -236,13 +287,24 @@ func (c *Client) Manifest() (*WireManifest, error) {
 	return c.ManifestCtx(context.Background())
 }
 
-// ManifestCtx is Manifest with per-request cancellation.
+// ManifestCtx is Manifest with per-request cancellation. It doubles as
+// capability negotiation: when the server's manifest advertises trace
+// support, TraceWire is switched on for every subsequent request (the
+// manifest request itself always goes out untraced — capability is
+// unknown until the reply arrives).
 func (c *Client) ManifestCtx(ctx context.Context) (*WireManifest, error) {
 	data, err := c.roundTrip(ctx, OpManifest, 0)
 	if err != nil {
 		return nil, err
 	}
-	return DecodeWireManifest(data)
+	wm, err := DecodeWireManifest(data)
+	if err != nil {
+		return nil, err
+	}
+	if wm.Trace {
+		c.TraceWire = true
+	}
+	return wm, nil
 }
 
 // Segment fetches segment i as a decodable sub-stream.
@@ -338,6 +400,11 @@ func (c *Client) Play(enhance bool) ([]*video.YUV, *PlayStats, error) {
 func (c *Client) PlayCtx(ctx context.Context, enhance bool) ([]*video.YUV, *PlayStats, error) {
 	root := c.Obs.Start("client_play")
 	defer root.End()
+	// Requests issued inside this session stamp their trace identity
+	// from the span driving them: the root for the manifest, the
+	// per-segment span for segment and model fetches.
+	c.Trace = root
+	defer func() { c.Trace = nil }()
 	wm, err := c.ManifestCtx(ctx)
 	if err != nil {
 		return nil, nil, err
@@ -355,6 +422,7 @@ func (c *Client) PlayCtx(ctx context.Context, enhance bool) ([]*video.YUV, *Play
 	for _, seg := range wm.Segments {
 		sp := root.Child("segment_fetch")
 		sp.Set("segment", seg.Index)
+		c.Trace = sp
 		sub, err := c.SegmentCtx(ctx, seg.Index)
 		if err != nil {
 			sp.End()
@@ -363,6 +431,7 @@ func (c *Client) PlayCtx(ctx context.Context, enhance bool) ([]*video.YUV, *Play
 		stats.Segments++
 		stats.VideoBytes += seg.Bytes
 		c.Obs.Counter("segments_fetched_total").Inc()
+		c.Obs.WindowedCounter("segments_fetched_window_total").Inc()
 		c.Obs.Counter("video_bytes_total").Add(int64(seg.Bytes))
 		var model *edsr.Model
 		if enhance && seg.ModelLabel >= 0 {
@@ -409,6 +478,7 @@ func (c *Client) PlayCtx(ctx context.Context, enhance bool) ([]*video.YUV, *Play
 			}
 		}
 		sp.End()
+		c.Trace = root
 		c.Log.Debug("transport: segment fetched", "segment", seg.Index,
 			"bytes", seg.Bytes, "model", seg.ModelLabel)
 		dec := codec.Decoder{Mode: codec.PropagateDelta, Obs: c.Obs}

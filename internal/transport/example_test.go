@@ -47,7 +47,9 @@ func Example_faultTolerantSession() {
 	// Drop every micro-model response; manifest and segments stay healthy.
 	inj := faultnet.New(faultnet.Config{
 		Decide: func(_ int, frame []byte) faultnet.Kind {
-			if len(frame) == 9 && frame[4] == transport.OpModel {
+			// Both plain (9-byte) and traced (26-byte) frames carry
+			// the opcode at byte 4.
+			if len(frame) >= 9 && frame[4] == transport.OpModel {
 				return faultnet.KindDrop
 			}
 			return faultnet.KindNone

@@ -61,8 +61,14 @@ func TestServerClientObservability(t *testing.T) {
 	if got := ss.Counters["transport_requests_total"]; got != wantReqs {
 		t.Errorf("transport_requests_total = %d, want %d", got, wantReqs)
 	}
-	if got := ss.Counters["transport_bytes_in_total"]; got != wantReqs*reqFrameBytes {
-		t.Errorf("transport_bytes_in_total = %d, want %d", got, wantReqs*reqFrameBytes)
+	// The manifest request goes out as a plain 9-byte frame (capability
+	// not yet known); every later request rides the traced 26-byte frame.
+	wantBytesIn := int64(reqFrameBytes) + (wantReqs-1)*tracedReqFrameBytes
+	if got := ss.Counters["transport_bytes_in_total"]; got != wantBytesIn {
+		t.Errorf("transport_bytes_in_total = %d, want %d", got, wantBytesIn)
+	}
+	if got := int64(client.BytesUp); got != wantBytesIn {
+		t.Errorf("client BytesUp = %d, want %d", got, wantBytesIn)
 	}
 	if got := ss.Counters["transport_bytes_out_total"]; got != int64(client.BytesDown) {
 		t.Errorf("server bytes out %d != client bytes down %d", got, client.BytesDown)
@@ -93,13 +99,41 @@ func TestServerClientObservability(t *testing.T) {
 		t.Errorf("model_bytes_total = %d, want %d", got, stats.ModelBytes)
 	}
 
-	// The client_play trace carries one segment_fetch child per segment.
+	// The windowed twins see the same traffic as the lifetime series.
+	if got := ss.WindowedCounters["transport_requests_window_total"].Count; got != wantReqs {
+		t.Errorf("transport_requests_window_total = %d, want %d", got, wantReqs)
+	}
+	if got := ss.WindowedHistograms["transport_segment_window_seconds"].Count; got != int64(len(prep.Segments)) {
+		t.Errorf("transport_segment_window_seconds count = %d, want %d", got, len(prep.Segments))
+	}
+	if got := cs.WindowedHistograms["transport_client_rtt_window_seconds"].Count; got != wantReqs {
+		t.Errorf("transport_client_rtt_window_seconds count = %d, want %d", got, wantReqs)
+	}
+	if got := cs.Histograms["transport_client_rtt_seconds"].Count; got != wantReqs {
+		t.Errorf("transport_client_rtt_seconds count = %d, want %d", got, wantReqs)
+	}
+	if got := cs.WindowedCounters["segments_fetched_window_total"].Count; got != int64(len(prep.Segments)) {
+		t.Errorf("segments_fetched_window_total = %d, want %d", got, len(prep.Segments))
+	}
+
+	// The client_play trace carries one segment_fetch child per segment
+	// plus the manifest's attempt span (fault-free run: one attempt).
 	traces := co.Trace.Traces()
 	if len(traces) != 1 || traces[0].Name != "client_play" {
 		t.Fatalf("client traces = %+v", traces)
 	}
-	if n := len(traces[0].Children); n != len(prep.Segments) {
-		t.Errorf("client_play has %d children, want %d", n, len(prep.Segments))
+	var fetches, attempts int
+	for _, ch := range traces[0].Children {
+		switch ch.Name {
+		case "segment_fetch":
+			fetches++
+		case "attempt":
+			attempts++
+		}
+	}
+	if fetches != len(prep.Segments) || attempts != 1 {
+		t.Errorf("client_play children: %d segment_fetch + %d attempt, want %d + 1",
+			fetches, attempts, len(prep.Segments))
 	}
 }
 

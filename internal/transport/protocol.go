@@ -12,18 +12,32 @@
 // # Wire protocol
 //
 // Every exchange is one fixed-size request frame followed by one
-// length-prefixed response. A request is exactly 9 bytes:
+// length-prefixed response. A plain request is exactly 9 bytes:
 //
 //	magic 'dcT1' (4) | opcode (1) | big-endian uint32 arg (4)
 //
 // where opcode is OpManifest, OpSegment or OpModel and arg is the segment
-// index or model label (ignored for OpManifest). The response is a 5-byte
-// header — status (1) | big-endian uint32 payload length (4) — followed by
-// the payload. Payloads are capped at maxPayload; a non-OK status carries
-// no payload. Because frames carry no sequence numbers, a short read or
-// dropped response desynchronizes the stream irrecoverably: the Client
-// therefore marks its connection broken on any transport-level error and
-// redials (Client.Redial) rather than attempting to resynchronize.
+// index or model label (ignored for OpManifest). A traced request is the
+// same frame under magic 'dcT2' followed by a 17-byte trace context —
+//
+//	magic 'dcT2' (4) | opcode (1) | arg (4) | trace ID (8) | parent span ID (8) | attempt (1)
+//
+// — which lets the server join the client's trace (see TraceContext).
+// The magic doubles as the capability switch: a server that understands
+// 'dcT2' advertises WireManifest.Trace, and a client only emits traced
+// frames after seeing that flag, so old-client↔new-server and
+// new-client↔old-server pairs interoperate on plain 'dcT1' frames.
+//
+// The response is a 5-byte header — status (1) | big-endian uint32
+// payload length (4) — followed by the payload. Payloads are capped at
+// maxPayload; a non-OK status carries no payload. Because frames carry no
+// sequence numbers, a short read or dropped response desynchronizes the
+// stream irrecoverably: the Client therefore marks its connection broken
+// on any transport-level error and redials (Client.Redial) rather than
+// attempting to resynchronize. A frame cut inside the trace-context bytes
+// is the same failure mode: the server sees io.ErrUnexpectedEOF from the
+// frame read and drops the connection, exactly as for a short 'dcT1'
+// frame.
 //
 // # Client concurrency contract
 //
@@ -75,11 +89,35 @@ const maxPayload = 64 << 20
 
 // Framing sizes, used by both sides for byte accounting.
 const (
-	reqFrameBytes  = 9 // magic(4) + opcode(1) + arg(4)
-	respFrameBytes = 5 // status(1) + length(4)
+	reqFrameBytes       = 9  // magic(4) + opcode(1) + arg(4)
+	tracedReqFrameBytes = 26 // reqFrameBytes + traceID(8) + spanID(8) + attempt(1)
+	respFrameBytes      = 5  // status(1) + length(4)
 )
 
-var protoMagic = [4]byte{'d', 'c', 'T', '1'}
+var (
+	protoMagic  = [4]byte{'d', 'c', 'T', '1'}
+	tracedMagic = [4]byte{'d', 'c', 'T', '2'}
+)
+
+// TraceContext is the trace identity a traced ('dcT2') request carries:
+// which distributed trace the request belongs to, the client-side span
+// that issued this attempt (the server span's parent), and the 0-based
+// retry attempt number. The zero value — in particular TraceID == 0 —
+// means "no trace", which is also how a plain 'dcT1' frame parses.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Attempt uint8
+}
+
+// frameBytes is the on-the-wire size of a request carrying (or not
+// carrying) this trace context.
+func (tc TraceContext) frameBytes() int64 {
+	if tc.TraceID != 0 {
+		return tracedReqFrameBytes
+	}
+	return reqFrameBytes
+}
 
 // WireManifest is the JSON document served for OpManifest: the byte-level
 // manifest plus everything a client needs to decode and enhance.
@@ -88,6 +126,10 @@ type WireManifest struct {
 	MicroConfig edsr.Config          `json:"micro_config"`
 	Segments    []stream.SegmentInfo `json:"segments"`
 	Models      []stream.ModelInfo   `json:"models"`
+	// Trace advertises that the server understands traced ('dcT2')
+	// request frames. A manifest from an older server decodes with
+	// Trace == false, keeping a newer client on plain frames.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Manifest converts the wire form back to a stream.Manifest.
@@ -102,7 +144,7 @@ func (wm *WireManifest) Manifest() *stream.Manifest {
 
 // EncodeWireManifest serializes a manifest for OpManifest responses.
 func EncodeWireManifest(fps int, micro edsr.Config, m *stream.Manifest) ([]byte, error) {
-	wm := WireManifest{FPS: fps, MicroConfig: micro, Segments: m.Segments}
+	wm := WireManifest{FPS: fps, MicroConfig: micro, Segments: m.Segments, Trace: true}
 	for _, l := range m.ModelLabels() {
 		wm.Models = append(wm.Models, m.Models[l])
 	}
@@ -118,9 +160,10 @@ func DecodeWireManifest(data []byte) (*WireManifest, error) {
 	return &wm, nil
 }
 
-// writeRequest frames a request: magic, opcode byte, uint32 argument.
+// writeRequest frames a plain 'dcT1' request: magic, opcode byte, uint32
+// argument.
 func writeRequest(w io.Writer, op byte, arg uint32) error {
-	var buf [9]byte
+	var buf [reqFrameBytes]byte
 	copy(buf[:4], protoMagic[:])
 	buf[4] = op
 	binary.BigEndian.PutUint32(buf[5:], arg)
@@ -128,20 +171,51 @@ func writeRequest(w io.Writer, op byte, arg uint32) error {
 	return err
 }
 
-// readRequest parses a request frame. io.EOF is returned as-is so servers
-// can treat a clean close between requests as normal termination.
-func readRequest(r io.Reader) (op byte, arg uint32, err error) {
-	var buf [9]byte
-	if _, err := io.ReadFull(r, buf[:]); err != nil {
+// writeRequestTraced frames a traced 'dcT2' request carrying tc. The
+// whole frame goes out in one Write so the fault layer treats it as one
+// request.
+func writeRequestTraced(w io.Writer, op byte, arg uint32, tc TraceContext) error {
+	var buf [tracedReqFrameBytes]byte
+	copy(buf[:4], tracedMagic[:])
+	buf[4] = op
+	binary.BigEndian.PutUint32(buf[5:], arg)
+	binary.BigEndian.PutUint64(buf[9:], tc.TraceID)
+	binary.BigEndian.PutUint64(buf[17:], tc.SpanID)
+	buf[25] = tc.Attempt
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readRequest parses a plain or traced request frame; a plain frame (and
+// a traced frame with trace ID zero) yields the zero TraceContext.
+// io.EOF is returned as-is so servers can treat a clean close between
+// requests as normal termination; a connection cut mid-frame — including
+// inside the trace-context bytes — surfaces as a wrapped
+// io.ErrUnexpectedEOF, the ordinary broken-connection path.
+func readRequest(r io.Reader) (op byte, arg uint32, tc TraceContext, err error) {
+	var buf [tracedReqFrameBytes]byte
+	if _, err := io.ReadFull(r, buf[:reqFrameBytes]); err != nil {
 		if err == io.EOF {
-			return 0, 0, io.EOF
+			return 0, 0, TraceContext{}, io.EOF
 		}
-		return 0, 0, fmt.Errorf("transport: reading request: %w", err)
+		return 0, 0, TraceContext{}, fmt.Errorf("transport: reading request: %w", err)
 	}
-	if [4]byte(buf[:4]) != protoMagic {
-		return 0, 0, fmt.Errorf("transport: bad request magic %x", buf[:4])
+	switch [4]byte(buf[:4]) {
+	case protoMagic:
+	case tracedMagic:
+		if _, err := io.ReadFull(r, buf[reqFrameBytes:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, 0, TraceContext{}, fmt.Errorf("transport: reading trace context: %w", err)
+		}
+		tc.TraceID = binary.BigEndian.Uint64(buf[9:])
+		tc.SpanID = binary.BigEndian.Uint64(buf[17:])
+		tc.Attempt = buf[25]
+	default:
+		return 0, 0, TraceContext{}, fmt.Errorf("transport: bad request magic %x", buf[:4])
 	}
-	return buf[4], binary.BigEndian.Uint32(buf[5:]), nil
+	return buf[4], binary.BigEndian.Uint32(buf[5:]), tc, nil
 }
 
 // writeResponse frames a response: status byte + uint32 length + payload.

@@ -26,8 +26,13 @@ type Server struct {
 	Log *obs.Logger
 	// Obs records transport_requests_total, transport_not_found_total,
 	// transport_bytes_in/out_total, the per-message-type latency
-	// histograms transport_{manifest,segment,model}_seconds, and the
-	// transport_open_conns gauge; nil disables metrics.
+	// histograms transport_{manifest,segment,model}_seconds, their
+	// rolling-window twins transport_requests_window_total and
+	// transport_{manifest,segment,model}_window_seconds, and the
+	// transport_open_conns gauge. Traced ('dcT2') requests additionally
+	// record one server span each into Obs.TraceBuf, retrievable by
+	// trace ID via the debug sidecar's /debug/trace?id= endpoint. nil
+	// disables all of it.
 	Obs *obs.Obs
 
 	mu     sync.Mutex
@@ -125,16 +130,34 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 		OpModel:    s.Obs.Histogram("transport_model_seconds"),
 	}
 	unknownHist := s.Obs.Histogram("transport_unknown_seconds")
+	wReqCtr := s.Obs.WindowedCounter("transport_requests_window_total")
+	opWHists := map[byte]*obs.WindowedHistogram{
+		OpManifest: s.Obs.WindowedHistogram("transport_manifest_window_seconds"),
+		OpSegment:  s.Obs.WindowedHistogram("transport_segment_window_seconds"),
+		OpModel:    s.Obs.WindowedHistogram("transport_model_window_seconds"),
+	}
 	for {
-		op, arg, err := readRequest(conn)
+		op, arg, tc, err := readRequest(conn)
 		if err != nil {
 			return err
 		}
 		reqCtr.Inc()
-		inCtr.Add(reqFrameBytes)
+		wReqCtr.Inc()
+		inCtr.Add(tc.frameBytes())
 		var t0 time.Time
 		if s.Obs != nil {
 			t0 = time.Now()
+		}
+		// A traced request gets a server-side span joined to the
+		// client's trace, retained in the trace buffer for
+		// /debug/trace?id= — this is what lets an operator attribute a
+		// slow fetch to the serving side after the fact.
+		var span *obs.Span
+		if tc.TraceID != 0 && s.Obs != nil {
+			span = obs.JoinSpan("server."+opName(op), tc.TraceID, tc.SpanID)
+			span.Set("op", opName(op))
+			span.Set("arg", arg)
+			span.Set("attempt", int(tc.Attempt))
 		}
 		var payload []byte
 		status := byte(StatusOK)
@@ -166,15 +189,29 @@ func (s *Server) ServeConn(conn io.ReadWriter) error {
 		}
 		err = writeResponse(conn, status, payload)
 		if err != nil {
+			if span != nil {
+				span.Set("status", "write_failed")
+				span.End()
+				s.Obs.RecordTrace(span)
+			}
 			return err
 		}
 		outCtr.Add(respFrameBytes + int64(len(payload)))
+		if span != nil {
+			span.Set("status", int(status))
+			span.Set("bytes_out", respFrameBytes+len(payload))
+			span.End()
+			s.Obs.RecordTrace(span)
+		}
 		if s.Obs != nil {
+			elapsed := time.Since(t0).Seconds()
 			h, ok := opHists[op]
 			if !ok {
 				h = unknownHist
 			}
-			h.Observe(time.Since(t0).Seconds())
+			h.Observe(elapsed)
+			// Missing map entry (unknown op) yields a nil no-op handle.
+			opWHists[op].Observe(elapsed)
 		}
 	}
 }

@@ -51,17 +51,20 @@ func TestRequestResponseFraming(t *testing.T) {
 	if err := writeRequest(&buf, OpSegment, 42); err != nil {
 		t.Fatal(err)
 	}
-	op, arg, err := readRequest(strings.NewReader(buf.String()))
+	op, arg, tc, err := readRequest(strings.NewReader(buf.String()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if op != OpSegment || arg != 42 {
 		t.Fatalf("round trip gave op=%d arg=%d", op, arg)
 	}
-	if _, _, err := readRequest(strings.NewReader("XXXXYYYYY")); err == nil {
+	if tc != (TraceContext{}) {
+		t.Fatalf("plain frame parsed with trace context %+v", tc)
+	}
+	if _, _, _, err := readRequest(strings.NewReader("XXXXYYYYY")); err == nil {
 		t.Fatal("bad magic accepted")
 	}
-	if _, _, err := readRequest(strings.NewReader("")); err != io.EOF {
+	if _, _, _, err := readRequest(strings.NewReader("")); err != io.EOF {
 		t.Fatalf("empty stream: want io.EOF, got %v", err)
 	}
 }

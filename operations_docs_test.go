@@ -99,7 +99,7 @@ func TestOperationsDocMetrics(t *testing.T) {
 	inj := faultnet.New(faultnet.Config{
 		Delay: 300 * time.Millisecond,
 		Decide: func(i int, frame []byte) faultnet.Kind {
-			if len(frame) == 9 && frame[4] == transport.OpModel {
+			if len(frame) >= 9 && frame[4] == transport.OpModel {
 				return faultnet.KindDrop
 			}
 			if i == 1 {
@@ -170,6 +170,12 @@ func TestOperationsDocMetrics(t *testing.T) {
 		registered[name] = true
 	}
 	for name := range snap.Histograms {
+		registered[name] = true
+	}
+	for name := range snap.WindowedCounters {
+		registered[name] = true
+	}
+	for name := range snap.WindowedHistograms {
 		registered[name] = true
 	}
 
