@@ -14,10 +14,15 @@ GO ?= go
 # interop and window-rotation tests run next, also by name: they pin the
 # trace-frame compatibility contract (old↔new peers in both directions)
 # and the fake-clock determinism of the rolling-window metrics before
-# the full race sweep repeats them among everything else.
+# the full race sweep repeats them among everything else. The mux
+# interop pair and the admission-under-load test then pin the fleet
+# serving contract (old↔new framing both ways, typed shedding under
+# concurrency) by name before the sweep.
 verify: build vet lint
 	$(GO) test -run 'TestPrepareGoldenEquivalence' -v ./internal/core/
 	$(GO) test -run 'TestWireTraceCompat' -v ./internal/transport/
+	$(GO) test -run 'TestMuxInteropNewClientOldServer|TestMuxInteropOldClientNewServer' -v ./internal/transport/
+	$(GO) test -race -run 'TestAdmissionConcurrentLoad|TestRetryPolicyHonorsShedHint' -v ./internal/transport/
 	$(GO) test -run 'TestWindowedCounterRotationDeterminism' -v ./internal/obs/
 	$(GO) test -race -timeout 30m ./...
 
@@ -39,14 +44,18 @@ test:
 # Enhance path, and the paper's Fig 8 FPS sweep, all with allocation
 # stats. Also emits BENCH_kernels.json (machine-readable ns/op, B/op,
 # allocs/op, FPS rows) via dcsr-bench so runs can be diffed across
-# checkouts on one machine, and BENCH_cachebudget.json (model-cache
-# hit/eviction/bandwidth accounting across byte budgets).
+# checkouts on one machine, BENCH_cachebudget.json (model-cache
+# hit/eviction/bandwidth accounting across byte budgets), and
+# BENCH_swarm.json (the fleet-load harness: 1000 concurrent clients vs
+# admission control — p50/p99 per op, shed rate, Jain fairness; the
+# capacity-planning numbers docs/SERVING.md works from).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkGEMM|BenchmarkConv2DInfer|BenchmarkIm2col' -benchmem ./internal/tensor/
 	$(GO) test -run '^$$' -bench 'BenchmarkEnhance(270|540)p|BenchmarkForwardInference' -benchmem ./internal/edsr/
 	$(GO) test -run '^$$' -bench 'BenchmarkFig8' -benchmem .
 	$(GO) run ./cmd/dcsr-bench -only kernels -json BENCH_kernels.json
 	$(GO) run ./cmd/dcsr-bench -fast -only cachebudget -json BENCH_cachebudget.json
+	$(GO) run ./cmd/dcsr-bench -fast -only swarm -json BENCH_swarm.json
 
 # Full evaluation-scale benchmark suite (minutes), including the 1080p
 # Enhance benchmark.

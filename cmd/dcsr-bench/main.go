@@ -41,6 +41,7 @@ type jsonReport struct {
 	Experiments []jsonExperiment               `json:"experiments"`
 	Kernels     []kernelResult                 `json:"kernels,omitempty"`
 	CacheBudget *experiments.CacheBudgetResult `json:"cachebudget,omitempty"`
+	Swarm       *experiments.SwarmResult       `json:"swarm,omitempty"`
 	Metrics     obs.Snapshot                   `json:"metrics"`
 }
 
@@ -73,6 +74,7 @@ func main() {
 
 	var kernelRows []kernelResult
 	var cacheBudgetRes *experiments.CacheBudgetResult
+	var swarmRes *experiments.SwarmResult
 
 	var fig9 *experiments.Fig9Result
 	getFig9 := func() *experiments.Fig9Result {
@@ -180,6 +182,17 @@ func main() {
 			cacheBudgetRes = r
 			fmt.Println(t)
 		}},
+		{"swarm", "fleet load: 1000 concurrent clients vs admission control + faultnet loss", func(c experiments.EvalConfig) {
+			t, r, err := experiments.ExperimentSwarm(c, experiments.SwarmConfig{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcsr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			swarmRes = r
+			fmt.Println(t)
+			fmt.Printf("served %d requests in %.2fs (shed %d, %d client retries, %d reconnects, peak inflight %d)\n\n",
+				r.Requests, r.ElapsedSec, r.Sheds, r.Retries, r.Reconnects, r.InflightPeak)
+		}},
 		{"ablations", "VAE features / global k-means / split / propagation ablations", func(c experiments.EvalConfig) {
 			t1, _ := experiments.AblationFeatures(c)
 			fmt.Println(t1)
@@ -231,6 +244,7 @@ func main() {
 	if *jsonOut != "" {
 		report.Kernels = kernelRows
 		report.CacheBudget = cacheBudgetRes
+		report.Swarm = swarmRes
 		report.Metrics = cfg.Obs.Metrics.Snapshot()
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

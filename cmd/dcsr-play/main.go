@@ -11,7 +11,9 @@
 // With -addr it streams from a dcsr-serve origin instead, where the link
 // can be shaped (-rate), faults can be injected (-fault-drop,
 // -fault-delay, -fault-seed) and the client's fault tolerance configured
-// (-retries, -timeout); see docs/OPERATIONS.md.
+// (-retries, -timeout); see docs/OPERATIONS.md. Against a multi-video
+// origin, -list-videos prints the hosted directory and -video <digest>
+// routes the playback at one hosted video (docs/SERVING.md).
 //
 // -trace prints the playback's span tree as JSON when it finishes. Over
 // -addr the client also propagates its trace context on the wire, so the
@@ -27,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -58,6 +61,8 @@ func main() {
 	retries := flag.Int("retries", 0, "with -addr: retry budget per request (0 = fail fast)")
 	timeout := flag.Duration("timeout", 0, "with -addr: per-request deadline (0 = none)")
 	trace := flag.Bool("trace", false, "print the playback's span tree; with -addr the trace ID is queryable on the origin's /debug/trace?id=")
+	videoDigest := flag.String("video", "", "with -addr: play the hosted video with this content digest instead of the origin's default")
+	listVideos := flag.Bool("list-videos", false, "with -addr: list the origin's hosted videos (digest, segments, models, bytes) and exit")
 	flag.Parse()
 
 	if *addr != "" {
@@ -65,9 +70,13 @@ func main() {
 			addr: *addr, rate: *rate,
 			faultDrop: *faultDrop, faultDelay: *faultDelay, faultSeed: *faultSeed,
 			retries: *retries, timeout: *timeout, cacheBudget: *cacheBudget,
-			trace: *trace,
+			trace: *trace, video: *videoDigest, listVideos: *listVideos,
 		})
 		return
+	}
+	if *videoDigest != "" || *listVideos {
+		fmt.Fprintln(os.Stderr, "dcsr-play: -video and -list-videos need -addr (digest routing is a serving feature)")
+		os.Exit(2)
 	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "dcsr-play: one of -in or -addr is required")
@@ -160,6 +169,8 @@ type netOptions struct {
 	timeout     time.Duration
 	cacheBudget int64
 	trace       bool
+	video       string
+	listVideos  bool
 }
 
 // printTraces renders every retained root span as indented JSON, with a
@@ -227,6 +238,38 @@ func playFromNetwork(opt netOptions) {
 		o = obs.New()
 		client.Obs = o
 	}
+	if opt.listVideos || opt.video != "" {
+		// The first manifest negotiates mux framing, which digest
+		// routing at non-default videos requires.
+		if _, err := client.Manifest(); err != nil {
+			fmt.Fprintf(os.Stderr, "dcsr-play: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if opt.listVideos {
+		dir, err := client.Videos()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcsr-play: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%d video(s) hosted on %s:\n", len(dir.Videos), opt.addr)
+		for _, v := range dir.Videos {
+			def := ""
+			if v.ID == 0 {
+				def = "  (default)"
+			}
+			fmt.Printf("  %s  %d segments, %d models, %d B video + %d B models, %d fps%s\n",
+				v.Digest, v.Segments, v.Models, v.VideoBytes, v.ModelBytes, v.FPS, def)
+		}
+		return
+	}
+	if opt.video != "" {
+		if err := client.SelectVideoCtx(context.Background(), opt.video); err != nil {
+			fmt.Fprintf(os.Stderr, "dcsr-play: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("selected video %s\n", opt.video)
+	}
 	frames, stats, err := client.Play(true)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dcsr-play: %v\n", err)
@@ -240,9 +283,9 @@ func playFromNetwork(opt netOptions) {
 		fmt.Printf("cache budget %d B: %d evictions, %d B resident at end\n",
 			opt.cacheBudget, stats.Evictions, stats.CacheBytes)
 	}
-	if stats.DegradedSegments > 0 || client.Retries > 0 || client.Timeouts > 0 {
-		fmt.Printf("fault recovery: %d segments degraded (no SR), %d retries, %d timeouts, %d reconnects, %v stalled\n",
-			stats.DegradedSegments, client.Retries, client.Timeouts, client.Reconnects, client.StallTime)
+	if stats.DegradedSegments > 0 || client.Retries > 0 || client.Timeouts > 0 || client.Sheds > 0 {
+		fmt.Printf("fault recovery: %d segments degraded (no SR), %d retries, %d timeouts, %d reconnects, %d sheds absorbed, %v stalled\n",
+			stats.DegradedSegments, client.Retries, client.Timeouts, client.Reconnects, client.Sheds, client.StallTime)
 	}
 	printTraces(o)
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"math"
 	"testing"
+	"time"
 
 	"dcsr/internal/device"
 	"dcsr/internal/video"
@@ -431,6 +432,77 @@ func TestExperimentFaultsShape(t *testing.T) {
 		t.Errorf("total model outage should complete degraded, got %+v", c)
 	} else if c.PSNR >= clean.PSNR {
 		t.Errorf("degraded playback PSNR %.2f not below clean %.2f", c.PSNR, clean.PSNR)
+	}
+}
+
+func TestExperimentSwarmShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trained experiment in short mode")
+	}
+	cfg := fastEval()
+	cfg.MicroSteps = 60
+	// Reduced scale for CI: enough sessions against a tight admission
+	// budget to guarantee contention, at a fraction of the bench's 1000
+	// sessions and 2s window.
+	sc := SwarmConfig{Sessions: 150, MaxInflight: 8, Duration: 400 * time.Millisecond, Ramp: 100 * time.Millisecond}
+	_, res, err := ExperimentSwarm(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance invariant: overload sheds typed rejections that the
+	// retry policy absorbs — never hard client errors.
+	if res.HardErrors != 0 {
+		t.Fatalf("swarm recorded %d hard errors; overload must shed, not fail", res.HardErrors)
+	}
+	if res.Sheds == 0 {
+		t.Errorf("%d sessions against max-inflight %d produced no sheds", sc.Sessions, sc.MaxInflight)
+	}
+	if res.ClientSheds == 0 || int64(res.ClientSheds) > res.Sheds {
+		t.Errorf("client-observed sheds %d inconsistent with server's %d", res.ClientSheds, res.Sheds)
+	}
+	if res.ShedRate <= 0 || res.ShedRate >= 1 {
+		t.Errorf("shed rate %.3f out of (0,1)", res.ShedRate)
+	}
+	if res.Drops == 0 {
+		t.Error("faultnet injected no drops at the default rate")
+	}
+	if res.InflightPeak <= 0 || res.InflightPeak > int64(sc.MaxInflight) {
+		t.Errorf("inflight peak %d outside (0, %d]", res.InflightPeak, sc.MaxInflight)
+	}
+	// Per-op accounting: every session lists the directory once and
+	// fetches at least one manifest; half refetch after selecting the
+	// non-default video.
+	if res.Directory.Count != sc.Sessions {
+		t.Errorf("directory ops %d, want %d", res.Directory.Count, sc.Sessions)
+	}
+	if want := sc.Sessions + sc.Sessions/2; res.Manifest.Count != want {
+		t.Errorf("manifest ops %d, want %d", res.Manifest.Count, want)
+	}
+	for _, op := range []struct {
+		name string
+		st   SwarmOpStats
+	}{{"manifest", res.Manifest}, {"directory", res.Directory}, {"segment", res.Segment}, {"model", res.Model}} {
+		if op.st.Count == 0 {
+			t.Errorf("%s: no successful ops", op.name)
+			continue
+		}
+		if op.st.P50ms <= 0 || op.st.P99ms < op.st.P50ms || op.st.Maxms < op.st.P99ms {
+			t.Errorf("%s latency summary inconsistent: %+v", op.name, op.st)
+		}
+	}
+	// Contention plus a fair scheduler should still serve sessions
+	// evenly; Jain's index collapses toward 1/n only when a few sessions
+	// monopolize the server.
+	if res.FairnessJain < 0.5 || res.FairnessJain > 1.0000001 {
+		t.Errorf("Jain fairness %.3f out of the healthy range", res.FairnessJain)
+	}
+	// The window bounds the run: everything beyond it is the slowest
+	// session's final in-flight op, not unbounded queueing.
+	if res.ElapsedSec < res.WindowSec || res.ElapsedSec > res.WindowSec+30 {
+		t.Errorf("elapsed %.2fs implausible for a %.2fs window", res.ElapsedSec, res.WindowSec)
+	}
+	if res.Videos != 2 || res.Sessions != sc.Sessions {
+		t.Errorf("result header wrong: %+v", res)
 	}
 }
 

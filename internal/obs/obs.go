@@ -22,16 +22,21 @@
 //	codec_frames_decoded_total, codec_iframes_enhanced_total,
 //	codec_enhance_seconds (histogram),
 //	transport_requests_total, transport_not_found_total,
+//	transport_shed_total,
 //	transport_bytes_in_total, transport_bytes_out_total,
-//	transport_open_conns (gauge),
+//	transport_open_conns, transport_videos, transport_inflight,
+//	transport_inflight_peak (gauges),
 //	transport_manifest_seconds, transport_segment_seconds,
-//	transport_model_seconds, transport_unknown_seconds (histograms),
+//	transport_model_seconds, transport_directory_seconds,
+//	transport_unknown_seconds (histograms),
 //	transport_client_requests_total, transport_client_bytes_up_total,
 //	transport_client_bytes_down_total, transport_client_retries_total,
 //	transport_client_timeouts_total, transport_client_reconnects_total,
+//	transport_client_shed_total,
 //	transport_client_rtt_seconds (histogram),
 //	and the time-resolved rolling-window series
-//	transport_requests_window_total, segments_fetched_window_total
+//	transport_requests_window_total, transport_shed_window_total,
+//	segments_fetched_window_total
 //	(windowed counters), transport_manifest_window_seconds,
 //	transport_segment_window_seconds, transport_model_window_seconds,
 //	transport_client_rtt_window_seconds, codec_enhance_window_seconds

@@ -54,12 +54,21 @@ type Manifest struct {
 }
 
 // Validate checks internal consistency: frame ranges must be non-empty,
-// model references must resolve, segment sizes must be non-negative, and
+// model references must resolve, segment sizes must be non-negative,
 // every model must have a positive payload (a zero- or negative-byte
 // model is undeserializable and would silently corrupt the byte
-// accounting the bandwidth experiments depend on).
+// accounting the bandwidth experiments depend on), segment indices must
+// be unique, and each Models entry's Label must match its map key. The
+// last two guard against silent shadowing: duplicate indices or
+// mislabeled models would make lookups quietly resolve to the wrong
+// payload instead of failing.
 func (m *Manifest) Validate() error {
+	seen := make(map[int]bool, len(m.Segments))
 	for _, s := range m.Segments {
+		if seen[s.Index] {
+			return fmt.Errorf("stream: duplicate segment index %d", s.Index)
+		}
+		seen[s.Index] = true
 		if s.ModelLabel >= 0 {
 			if _, ok := m.Models[s.ModelLabel]; !ok {
 				return fmt.Errorf("stream: segment %d references unknown model %d", s.Index, s.ModelLabel)
@@ -73,6 +82,9 @@ func (m *Manifest) Validate() error {
 		}
 	}
 	for label, mi := range m.Models {
+		if mi.Label != label {
+			return fmt.Errorf("stream: model keyed %d carries label %d", label, mi.Label)
+		}
 		if mi.Bytes <= 0 {
 			return fmt.Errorf("stream: model %d has non-positive size %d", label, mi.Bytes)
 		}

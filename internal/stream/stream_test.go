@@ -137,6 +137,12 @@ func TestManifestValidate(t *testing.T) {
 		{"unreferenced zero-byte model still rejected", func(m *Manifest) {
 			m.Models[7] = ModelInfo{Label: 7}
 		}, true},
+		{"duplicate segment index (silent shadowing)", func(m *Manifest) {
+			m.Segments = append(m.Segments, SegmentInfo{Index: 0, Start: 5, End: 9, Bytes: 100, ModelLabel: -1})
+		}, true},
+		{"model keyed under a different label", func(m *Manifest) {
+			m.Models[2] = ModelInfo{Label: 1, Bytes: 100}
+		}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -48,6 +48,11 @@ type Client struct {
 	Retries    int
 	Timeouts   int
 	Reconnects int
+	// Sheds counts StatusRetryAfter rejections received from the
+	// server's admission layer, mirroring transport_client_shed_total.
+	// Each one backed off by at least the server's hint before retrying
+	// (see RetryPolicy.ShedRetries).
+	Sheds int
 	// StallTime accumulates backoff sleeps — delivery time lost to
 	// faults, the "stall" axis of the fault-injection experiment.
 	StallTime time.Duration
@@ -74,7 +79,8 @@ type Client struct {
 	// Obs records transport_client_requests_total,
 	// transport_client_bytes_up/down_total, the fault-tolerance
 	// counters transport_client_{retries,timeouts,reconnects}_total,
-	// and per-exchange round-trip latency as both the lifetime
+	// the admission-shed counter transport_client_shed_total, and
+	// per-exchange round-trip latency as both the lifetime
 	// transport_client_rtt_seconds histogram and its rolling-window
 	// twin transport_client_rtt_window_seconds; nil disables metrics.
 	Obs *obs.Obs
@@ -85,6 +91,22 @@ type Client struct {
 	// every frame remains backward compatible. Tests (or callers that
 	// negotiated capability out of band) may set it directly.
 	TraceWire bool
+	// MuxWire enables multiplexed ('dcT3') request frames — the framing
+	// that carries Video routing. Unlike TraceWire it is NOT switched on
+	// merely because the server advertises WireManifest.Mux: a client
+	// streaming the default video keeps the classic framing it always
+	// spoke (so frame-level tooling and wire-sniffing fault hooks see no
+	// change), and SelectVideoCtx upgrades lazily the moment a
+	// non-default video actually needs routing. The sequential Client
+	// still issues one request at a time; MuxWire here buys video
+	// routing and the mux response framing, not pipelining (see
+	// MuxClient for that).
+	MuxWire bool
+	// Video routes requests at one of a multi-video server's hosted
+	// streams (0, the default, is the first video registered). Set it via
+	// SelectVideoCtx, or directly from a WireDirectory entry's ID.
+	// Nonzero Video requires MuxWire — classic frames carry no routing.
+	Video uint32
 	// Trace, when non-nil, is the client-side span wire traces hang
 	// off: every roundTrip opens an attempt-numbered child span under
 	// it and — when TraceWire is set — stamps that child's identity
@@ -94,8 +116,10 @@ type Client struct {
 	// callers driving raw requests may set it around any exchange.
 	Trace *obs.Span
 
-	sleep func(time.Duration) // test hook; time.Sleep when nil
-	rng   *rand.Rand          // jitter PRNG, lazily seeded from Retry.Seed
+	sleep  func(time.Duration) // test hook; time.Sleep when nil
+	rng    *rand.Rand          // jitter PRNG, lazily seeded from Retry.Seed
+	nextID uint32              // mux request ID counter
+	muxOK  bool                // server advertised Mux (learned at manifest)
 }
 
 // NewClient wraps an established connection (TCP, net.Pipe, throttled,
@@ -176,9 +200,18 @@ func (c *Client) attempt(op byte, arg uint32, timeout time.Duration, tc TraceCon
 		t0 = time.Now()
 	}
 	var err error
-	if tc.TraceID != 0 {
+	var reqBytes int64
+	var reqID uint32
+	if c.MuxWire {
+		c.nextID++
+		reqID = c.nextID
+		reqBytes = muxReqFrameBytes
+		err = writeRequestMux(c.conn, op, arg, c.Video, reqID, tc)
+	} else if tc.TraceID != 0 {
+		reqBytes = tracedReqFrameBytes
 		err = writeRequestTraced(c.conn, op, arg, tc)
 	} else {
+		reqBytes = reqFrameBytes
 		err = writeRequest(c.conn, op, arg)
 	}
 	if err != nil {
@@ -186,17 +219,32 @@ func (c *Client) attempt(op byte, arg uint32, timeout time.Duration, tc TraceCon
 		c.Log.Error("transport: client write failed", "op", opName(op), "arg", arg, "err", err)
 		return nil, err
 	}
-	c.BytesUp += int(tc.frameBytes())
+	c.BytesUp += int(reqBytes)
 	c.Obs.Counter("transport_client_requests_total").Inc()
-	c.Obs.Counter("transport_client_bytes_up_total").Add(tc.frameBytes())
-	status, payload, err := readResponse(c.conn)
+	c.Obs.Counter("transport_client_bytes_up_total").Add(reqBytes)
+	var status byte
+	var payload []byte
+	var respBytes int
+	if c.MuxWire {
+		var gotID uint32
+		gotID, status, payload, err = readResponseMux(c.conn)
+		if err == nil && gotID != reqID {
+			// A sequential client has exactly one request outstanding, so
+			// a mismatched ID means the stream is desynchronized.
+			err = fmt.Errorf("transport: response for request %d, expected %d", gotID, reqID)
+		}
+		respBytes = muxRespFrameBytes + len(payload)
+	} else {
+		status, payload, err = readResponse(c.conn)
+		respBytes = respFrameBytes + len(payload)
+	}
 	if err != nil {
 		c.broken = true
 		c.Log.Error("transport: client read failed", "op", opName(op), "arg", arg, "err", err)
 		return nil, err
 	}
-	c.BytesDown += respFrameBytes + len(payload)
-	c.Obs.Counter("transport_client_bytes_down_total").Add(respFrameBytes + int64(len(payload)))
+	c.BytesDown += respBytes
+	c.Obs.Counter("transport_client_bytes_down_total").Add(int64(respBytes))
 	if c.Obs != nil {
 		rtt := time.Since(t0).Seconds()
 		c.Obs.Histogram("transport_client_rtt_seconds").Observe(rtt)
@@ -205,20 +253,28 @@ func (c *Client) attempt(op byte, arg uint32, timeout time.Duration, tc TraceCon
 	if status == StatusOK {
 		return payload, nil
 	}
+	se := &statusError{op: op, arg: arg, status: status}
+	if status == StatusRetryAfter {
+		se.hint = parseRetryAfter(payload)
+	}
 	c.Log.Warn("transport: request failed", "op", opName(op), "arg", arg, "status", status)
-	return nil, &statusError{op: op, arg: arg, status: status}
+	return nil, se
 }
 
 // roundTrip drives one request through the retry state machine: attempt,
 // classify the failure, back off, reconnect, try again — up to
-// Retry.MaxRetries extra attempts. Cancellation is attempt-granular: ctx
-// is checked before each attempt and interrupts backoff sleeps
-// immediately; a ctx deadline additionally tightens the per-request read
-// deadline, so an expiring context cuts short even an in-flight read.
+// Retry.MaxRetries extra attempts for transport failures and
+// Retry.ShedRetries for admission sheds (which keep the connection and
+// back off by at least the server's hint). Cancellation is
+// attempt-granular: ctx is checked before each attempt and interrupts
+// backoff sleeps immediately; a ctx deadline additionally tightens the
+// per-request read deadline, so an expiring context cuts short even an
+// in-flight read.
 func (c *Client) roundTrip(ctx context.Context, op byte, arg uint32) ([]byte, error) {
 	pol := c.Retry.withDefaults()
 	var lastErr error
-	for attempt := 0; ; attempt++ {
+	fails, sheds := 0, 0
+	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -228,6 +284,7 @@ func (c *Client) roundTrip(ctx context.Context, op byte, arg uint32) ([]byte, er
 			}
 		}
 		if !c.broken {
+			attempt := fails + sheds
 			timeout := pol.Timeout
 			if dl, ok := ctx.Deadline(); ok {
 				if rem := time.Until(dl); timeout == 0 || rem < timeout {
@@ -253,6 +310,32 @@ func (c *Client) roundTrip(ctx context.Context, op byte, arg uint32) ([]byte, er
 			}
 			var se *statusError
 			if errors.As(err, &se) {
+				if se.status == StatusRetryAfter {
+					// Admission shed: the connection is still
+					// synchronized, so no redial — back off by at least
+					// the server's hint and try again under the shed
+					// budget.
+					c.Sheds++
+					c.Obs.Counter("transport_client_shed_total").Inc()
+					asp.Set("outcome", "shed")
+					asp.Set("hint", se.hint.String())
+					asp.End()
+					if sheds >= pol.shedBudget() {
+						return nil, err
+					}
+					d := pol.backoff(sheds, c.jitterRNG())
+					if d < se.hint {
+						d = se.hint
+					}
+					sheds++
+					c.StallTime += d
+					c.Log.Warn("transport: request shed by server", "op", opName(op), "arg", arg,
+						"hint", se.hint, "backoff", d)
+					if err := c.sleepFor(ctx, d); err != nil {
+						return nil, err
+					}
+					continue
+				}
 				asp.Set("outcome", "rejected")
 				asp.Set("status", int(se.status))
 				asp.End()
@@ -267,15 +350,16 @@ func (c *Client) roundTrip(ctx context.Context, op byte, arg uint32) ([]byte, er
 			asp.End()
 			lastErr = err
 		}
-		if attempt >= pol.MaxRetries {
+		if fails >= pol.MaxRetries {
 			return nil, lastErr
 		}
 		c.Retries++
 		c.Obs.Counter("transport_client_retries_total").Inc()
-		d := pol.backoff(attempt, c.jitterRNG())
+		d := pol.backoff(fails, c.jitterRNG())
+		fails++
 		c.StallTime += d
 		c.Log.Warn("transport: retrying request", "op", opName(op), "arg", arg,
-			"attempt", attempt+1, "backoff", d, "err", lastErr)
+			"attempt", fails, "backoff", d, "err", lastErr)
 		if err := c.sleepFor(ctx, d); err != nil {
 			return nil, err
 		}
@@ -290,8 +374,11 @@ func (c *Client) Manifest() (*WireManifest, error) {
 // ManifestCtx is Manifest with per-request cancellation. It doubles as
 // capability negotiation: when the server's manifest advertises trace
 // support, TraceWire is switched on for every subsequent request (the
-// manifest request itself always goes out untraced — capability is
-// unknown until the reply arrives).
+// first manifest request itself always goes out in the oldest framing
+// the client currently speaks — capability is unknown until the reply
+// arrives). Mux capability is only remembered here; the framing itself
+// stays classic until SelectVideoCtx actually needs routing, so a
+// default-video session is byte-for-byte the wire an old client speaks.
 func (c *Client) ManifestCtx(ctx context.Context) (*WireManifest, error) {
 	data, err := c.roundTrip(ctx, OpManifest, 0)
 	if err != nil {
@@ -304,7 +391,56 @@ func (c *Client) ManifestCtx(ctx context.Context) (*WireManifest, error) {
 	if wm.Trace {
 		c.TraceWire = true
 	}
+	if wm.Mux {
+		c.muxOK = true
+	}
 	return wm, nil
+}
+
+// Videos fetches the server's directory of hosted videos.
+func (c *Client) Videos() (*WireDirectory, error) {
+	return c.VideosCtx(context.Background())
+}
+
+// VideosCtx is Videos with per-request cancellation. OpVideos is served
+// in any framing, but only a multi-video (Mux-advertising) server
+// understands it — an older server answers StatusBadReq.
+func (c *Client) VideosCtx(ctx context.Context) (*WireDirectory, error) {
+	data, err := c.roundTrip(ctx, OpVideos, 0)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeWireDirectory(data)
+}
+
+// SelectVideoCtx routes all subsequent requests at the hosted video with
+// the given hex content digest, as listed in the OpVideos directory. The
+// next ManifestCtx (and therefore PlayCtx) then fetches that video.
+// Selecting a non-default video requires the server to speak mux framing
+// — classic frames carry no routing — so call ManifestCtx first, or
+// accept that only digest-of-video-0 can match before negotiation.
+func (c *Client) SelectVideoCtx(ctx context.Context, digest string) error {
+	dir, err := c.VideosCtx(ctx)
+	if err != nil {
+		return err
+	}
+	for _, v := range dir.Videos {
+		if v.Digest != digest {
+			continue
+		}
+		if v.ID != 0 && !c.MuxWire {
+			if !c.muxOK {
+				return fmt.Errorf("transport: video %s needs mux framing the server did not advertise", digest)
+			}
+			// Lazy upgrade: routing is the first thing that actually
+			// needs mux frames, so this is where the framing switches.
+			c.MuxWire = true
+		}
+		c.Video = v.ID
+		c.Log.Debug("transport: video selected", "id", v.ID, "digest", digest)
+		return nil
+	}
+	return fmt.Errorf("transport: video %s not hosted", digest)
 }
 
 // Segment fetches segment i as a decodable sub-stream.

@@ -1,6 +1,7 @@
 package transport_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -84,4 +85,79 @@ func Example_faultTolerantSession() {
 	// playback completed: true
 	// degraded but watchable: true
 	// recovery attempted: true
+}
+
+// prepareClip runs the server-side pipeline over a tiny generated clip;
+// it exists so the multi-video example stays focused on serving.
+func prepareClip(seed int64) (*core.Prepared, int) {
+	clip := video.Generate(video.GenConfig{
+		W: 64, H: 48, Seed: seed, NumScenes: 2, TotalCues: 4, MinFrames: 5, MaxFrames: 7,
+	})
+	frames := clip.YUVFrames()
+	prep, err := core.Prepare(frames, clip.FPS, core.ServerConfig{
+		QP:          51,
+		Split:       splitter.Config{Threshold: 14, MinLen: 3},
+		VAE:         vae.Config{ImgSize: 16, LatentDim: 4, BaseCh: 4},
+		VAETrain:    vae.TrainOptions{Epochs: 8, BatchSize: 4},
+		MicroConfig: edsr.Config{Filters: 4, ResBlocks: 1},
+		Train:       edsr.TrainOptions{Steps: 40, BatchSize: 2, PatchSize: 16},
+		Seed:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return prep, len(frames)
+}
+
+// Example_multiVideoServer hosts two prepared videos behind one server,
+// lists the directory, selects the second video by its content digest,
+// and plays it — the fleet-serving flow documented in docs/SERVING.md.
+// Printed values are structural, so the example is stable across runs.
+func Example_multiVideoServer() {
+	prepA, _ := prepareClip(23)
+	prepB, framesB := prepareClip(31)
+
+	srv := transport.NewFleetServer()
+	srv.Admission = transport.AdmissionConfig{MaxInflight: 64} // shed, don't queue, past 64 concurrent requests
+	digestA, err := srv.Register(prepA)
+	if err != nil {
+		panic(err)
+	}
+	digestB, err := srv.Register(prepB)
+	if err != nil {
+		panic(err)
+	}
+
+	cconn, sconn := net.Pipe()
+	go func() { _ = srv.ServeConn(sconn) }()
+	defer cconn.Close()
+	defer sconn.Close()
+	client := transport.NewClient(cconn)
+
+	// The first manifest negotiates capabilities (trace + mux framing).
+	if _, err := client.Manifest(); err != nil {
+		panic(err)
+	}
+	dir, err := client.Videos()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("videos hosted:", len(dir.Videos))
+	fmt.Println("distinct digests:", digestA != digestB)
+
+	// Route every subsequent request at the second video by digest.
+	if err := client.SelectVideoCtx(context.Background(), digestB); err != nil {
+		panic(err)
+	}
+	out, stats, err := client.Play(true)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("selected video played:", len(out) == framesB)
+	fmt.Println("models fetched:", stats.ModelDownloads > 0)
+	// Output:
+	// videos hosted: 2
+	// distinct digests: true
+	// selected video played: true
+	// models fetched: true
 }

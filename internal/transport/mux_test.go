@@ -1,0 +1,326 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// muxDialer returns a dial function that opens a fresh net.Pipe served
+// by srv for every call, recording the client ends so tests can sever
+// connections deliberately.
+func muxDialer(srv *Server) (dial func() (io.ReadWriter, error), conns *[]net.Conn) {
+	var mu sync.Mutex
+	var cs []net.Conn
+	conns = &cs
+	dial = func() (io.ReadWriter, error) {
+		cconn, sconn := net.Pipe()
+		go func() { _ = srv.ServeConn(sconn) }()
+		mu.Lock()
+		cs = append(cs, cconn)
+		mu.Unlock()
+		return cconn, nil
+	}
+	return dial, conns
+}
+
+// TestMuxPipeliningOutOfOrder pins the point of 'dcT3' framing: a slow
+// request does not block a later one on the same connection, and each
+// response is matched back to its own request by ID.
+func TestMuxPipeliningOutOfOrder(t *testing.T) {
+	prep, _ := getFixture(t)
+	srv, err := NewServer(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	hold := make(chan struct{})
+	var first sync.Once
+	srv.admitHold = func(op byte) {
+		if op != OpSegment {
+			return
+		}
+		blocked := false
+		first.Do(func() { blocked = true })
+		if blocked {
+			close(entered)
+			<-hold
+		}
+	}
+	dial, _ := muxDialer(srv)
+	mux, err := DialMux(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := make(chan []byte, 1)
+	go func() {
+		p, err := mux.Do(context.Background(), OpSegment, 0, 0)
+		if err != nil {
+			t.Errorf("slow request failed: %v", err)
+		}
+		slow <- p
+	}()
+	<-entered // request 0 is pinned inside the handler
+	fast, err := mux.Do(context.Background(), OpSegment, 1, 0)
+	if err != nil {
+		t.Fatalf("pipelined request stuck behind a slow one: %v", err)
+	}
+	close(hold)
+	got0 := <-slow
+	if !bytes.Equal(fast, srv.videos[0].segments[1]) {
+		t.Error("out-of-order response matched to the wrong request (segment 1)")
+	}
+	if !bytes.Equal(got0, srv.videos[0].segments[0]) {
+		t.Error("out-of-order response matched to the wrong request (segment 0)")
+	}
+}
+
+// TestMuxConcurrentRequests hammers one MuxClient from many goroutines
+// over a single TCP connection (run under -race) and checks every
+// response lands on the request that asked for it.
+func TestMuxConcurrentRequests(t *testing.T) {
+	prep, _ := getFixture(t)
+	srv, err := NewServer(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	mux, err := DialMux(func() (io.ReadWriter, error) {
+		return net.Dial("tcp", ln.Addr().String())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mux.Close()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range srv.videos[0].segments {
+				p, err := mux.Do(context.Background(), OpSegment, uint32(i), 0)
+				if err != nil {
+					t.Errorf("segment %d: %v", i, err)
+					return
+				}
+				if !bytes.Equal(p, srv.videos[0].segments[i]) {
+					t.Errorf("segment %d: response mismatched", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := mux.Stats()
+	if st.BytesUp == 0 || st.BytesDown == 0 {
+		t.Errorf("stats did not account traffic: %+v", st)
+	}
+	if st.Reconnects != 0 || st.Timeouts != 0 {
+		t.Errorf("clean run recorded failures: %+v", st)
+	}
+}
+
+// TestMuxInteropNewClientOldServer pins the downgrade path: DialMux
+// against a server whose manifest does not advertise mux must fail with
+// ErrNoMux (callers fall back to the sequential Client), after speaking
+// only 9-byte 'dcT1' frames on the wire.
+func TestMuxInteropNewClientOldServer(t *testing.T) {
+	prep, _ := getFixture(t)
+	srv, err := NewServer(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := DecodeWireManifest(srv.videos[0].manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm.Trace = false // what an old server serves
+	wm.Mux = false
+	oldManifest, err := json.Marshal(wm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cconn, sconn := net.Pipe()
+	defer cconn.Close()
+	defer sconn.Close()
+	go serveOldWire(t, sconn, oldManifest, srv.videos[0].segments[0])
+
+	if _, err := DialMux(func() (io.ReadWriter, error) { return cconn, nil }); !errors.Is(err, ErrNoMux) {
+		t.Fatalf("DialMux against an old server: want ErrNoMux, got %v", err)
+	}
+}
+
+// TestMuxInteropOldClientNewServer drives raw pre-mux frames at a
+// current multi-video server: 'dcT1' requests get classic 5-byte-header
+// responses for every op, including the directory, and the default video
+// answers data ops — the drop-in-replacement guarantee.
+func TestMuxInteropOldClientNewServer(t *testing.T) {
+	prep, _ := getFixture(t)
+	srv, err := NewServer(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cconn, sconn := net.Pipe()
+	go func() { _ = srv.ServeConn(sconn) }()
+	defer cconn.Close()
+	defer sconn.Close()
+
+	// Oldest wire dialect: plain 9-byte request, classic response.
+	if err := writeRequest(cconn, OpManifest, 0); err != nil {
+		t.Fatal(err)
+	}
+	status, payload, err := readResponse(cconn)
+	if err != nil || status != StatusOK {
+		t.Fatalf("manifest over dcT1: status=%d err=%v", status, err)
+	}
+	if _, err := DecodeWireManifest(payload); err != nil {
+		t.Fatalf("manifest payload undecodable by an old client: %v", err)
+	}
+	if err := writeRequest(cconn, OpSegment, 0); err != nil {
+		t.Fatal(err)
+	}
+	if status, payload, err = readResponse(cconn); err != nil || status != StatusOK {
+		t.Fatalf("segment over dcT1: status=%d err=%v", status, err)
+	}
+	if !bytes.Equal(payload, srv.videos[0].segments[0]) {
+		t.Error("dcT1 segment response is not the default video's payload")
+	}
+	// The directory op is served in classic framing too, so even a
+	// non-mux client can list what the fleet hosts.
+	if err := writeRequest(cconn, OpVideos, 0); err != nil {
+		t.Fatal(err)
+	}
+	if status, payload, err = readResponse(cconn); err != nil || status != StatusOK {
+		t.Fatalf("videos over dcT1: status=%d err=%v", status, err)
+	}
+	dir, err := DecodeWireDirectory(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir.Videos) != 1 || dir.Videos[0].ID != 0 {
+		t.Fatalf("directory over dcT1 = %+v, want the single default video", dir)
+	}
+}
+
+// TestMuxTimeoutKeepsConnection pins the cheap-deadline property: a
+// request that times out abandons its pending entry and retries on the
+// SAME connection; the late response is discarded by ID instead of
+// desynchronizing the stream.
+func TestMuxTimeoutKeepsConnection(t *testing.T) {
+	prep, _ := getFixture(t)
+	srv, err := NewServer(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int32
+	srv.admitHold = func(op byte) {
+		if op == OpSegment && calls.Add(1) == 1 {
+			time.Sleep(150 * time.Millisecond) // first data request: slower than the deadline
+		}
+	}
+	dial, _ := muxDialer(srv)
+	mux, err := DialMux(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux.Retry = RetryPolicy{
+		MaxRetries: 1,
+		Timeout:    30 * time.Millisecond,
+		BaseDelay:  time.Millisecond,
+		MaxDelay:   2 * time.Millisecond,
+		Seed:       1,
+	}
+	p, err := mux.Do(context.Background(), OpSegment, 0, 0)
+	if err != nil {
+		t.Fatalf("retry after timeout failed: %v", err)
+	}
+	if !bytes.Equal(p, srv.videos[0].segments[0]) {
+		t.Error("retried response mismatched")
+	}
+	st := mux.Stats()
+	if st.Timeouts != 1 || st.Retries != 1 {
+		t.Errorf("stats = %+v, want exactly one timeout and one retry", st)
+	}
+	if st.Reconnects != 0 {
+		t.Errorf("timeout forced a reconnect (%d); the connection should have been kept", st.Reconnects)
+	}
+}
+
+// TestMuxReconnectAfterTransportError severs the connection under a
+// MuxClient and checks the next request redials once and succeeds.
+func TestMuxReconnectAfterTransportError(t *testing.T) {
+	prep, _ := getFixture(t)
+	srv, err := NewServer(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dial, conns := muxDialer(srv)
+	mux, err := DialMux(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux.Retry = RetryPolicy{MaxRetries: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Seed: 1}
+	if _, err := mux.Do(context.Background(), OpSegment, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	(*conns)[0].Close() // sever the live connection
+	p, err := mux.Do(context.Background(), OpSegment, 1, 0)
+	if err != nil {
+		t.Fatalf("request after severed conn failed: %v", err)
+	}
+	if !bytes.Equal(p, srv.videos[0].segments[1]) {
+		t.Error("post-reconnect response mismatched")
+	}
+	if got := mux.Stats().Reconnects; got != 1 {
+		t.Errorf("reconnects = %d, want 1", got)
+	}
+	if len(*conns) != 2 {
+		t.Errorf("dialer used %d connections, want 2", len(*conns))
+	}
+}
+
+// TestMuxClosedClient pins Close semantics: no redial, typed failure.
+func TestMuxClosedClient(t *testing.T) {
+	prep, _ := getFixture(t)
+	srv, err := NewServer(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dial, conns := muxDialer(srv)
+	mux, err := DialMux(dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mux.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mux.Do(context.Background(), OpSegment, 0, 0); err == nil {
+		t.Fatal("request on a closed mux client succeeded")
+	}
+	if len(*conns) != 1 {
+		t.Errorf("closed client redialed (%d conns)", len(*conns))
+	}
+}
+
+// TestDialMuxDialFailure propagates the dial error instead of returning
+// a half-constructed client.
+func TestDialMuxDialFailure(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := DialMux(func() (io.ReadWriter, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("want dial error, got %v", err)
+	}
+}

@@ -1,13 +1,18 @@
 // Package transport serves and fetches dcSR artifacts over real network
 // connections: a length-prefixed binary request/response protocol, a
-// concurrent origin server wrapping a prepared stream, a client with
-// micro-model caching, and a token-bucket bandwidth throttler for
-// emulating constrained links.
+// concurrent multi-video origin server with admission control, sequential
+// and multiplexed clients with micro-model caching, and a token-bucket
+// bandwidth throttler for emulating constrained links.
 //
 // The paper's prototype pairs a streaming platform with SR-FFMPEG; this
 // package is the equivalent delivery path: the client downloads the
 // manifest, then per segment the coded sub-stream plus (on cache miss) the
-// segment's micro model, decoding and enhancing as it goes.
+// segment's micro model, decoding and enhancing as it goes. The paper's
+// deployment sketch (§5) is a CDN-side service handing per-cluster micro
+// models to many concurrent clients; Server hosts any number of prepared
+// videos behind one endpoint, routed by content digest, and sheds load
+// with typed retry-after rejections when over budget (see
+// docs/SERVING.md for the operator view).
 //
 // # Wire protocol
 //
@@ -16,28 +21,51 @@
 //
 //	magic 'dcT1' (4) | opcode (1) | big-endian uint32 arg (4)
 //
-// where opcode is OpManifest, OpSegment or OpModel and arg is the segment
-// index or model label (ignored for OpManifest). A traced request is the
-// same frame under magic 'dcT2' followed by a 17-byte trace context —
+// where opcode is OpManifest, OpSegment, OpModel or OpVideos and arg is
+// the segment index or model label (ignored for OpManifest/OpVideos). A
+// traced request is the same frame under magic 'dcT2' followed by a
+// 17-byte trace context —
 //
 //	magic 'dcT2' (4) | opcode (1) | arg (4) | trace ID (8) | parent span ID (8) | attempt (1)
 //
 // — which lets the server join the client's trace (see TraceContext).
-// The magic doubles as the capability switch: a server that understands
-// 'dcT2' advertises WireManifest.Trace, and a client only emits traced
-// frames after seeing that flag, so old-client↔new-server and
-// new-client↔old-server pairs interoperate on plain 'dcT1' frames.
+// A multiplexed request is the third generation, magic 'dcT3', and is
+// always exactly 34 bytes:
 //
-// The response is a 5-byte header — status (1) | big-endian uint32
-// payload length (4) — followed by the payload. Payloads are capped at
-// maxPayload; a non-OK status carries no payload. Because frames carry no
-// sequence numbers, a short read or dropped response desynchronizes the
-// stream irrecoverably: the Client therefore marks its connection broken
-// on any transport-level error and redials (Client.Redial) rather than
-// attempting to resynchronize. A frame cut inside the trace-context bytes
-// is the same failure mode: the server sees io.ErrUnexpectedEOF from the
-// frame read and drops the connection, exactly as for a short 'dcT1'
-// frame.
+//	magic 'dcT3' (4) | opcode (1) | arg (4) | video ID (4) | request ID (4) |
+//	trace ID (8) | parent span ID (8) | attempt (1)
+//
+// The video ID routes the request to one of the hosted videos (0 is the
+// default video, so a mux frame with video 0 behaves exactly like a
+// plain frame); the request ID is an opaque client token echoed in the
+// response header, which is what makes pipelining possible: many mux
+// requests may be in flight on one connection and the server may answer
+// them out of order. A 'dcT3' request is answered with a 9-byte mux
+// response header — request ID (4) | status (1) | length (4) — while
+// 'dcT1'/'dcT2' requests keep the classic 5-byte header — status (1) |
+// length (4) — so every protocol generation interoperates on one port. A
+// connection must not mix classic and mux framing with responses
+// outstanding: classic responses carry no ID, so interleaving them with
+// out-of-order mux responses would be ambiguous. Clients here switch to
+// mux framing for a connection at negotiation time and stay on it.
+//
+// Each magic doubles as a capability switch: a server that understands
+// 'dcT2' advertises WireManifest.Trace, one that understands 'dcT3'
+// advertises WireManifest.Mux (and serves OpVideos), and a client only
+// emits the newer frames after seeing the flag, so old-client↔new-server
+// and new-client↔old-server pairs interoperate on plain 'dcT1' frames.
+//
+// Payloads are capped at maxPayload. A non-OK status usually carries no
+// payload; the one exception is StatusRetryAfter, whose 4-byte payload is
+// the server's backoff hint in milliseconds (see AdmissionConfig and
+// IsRetryAfter). Because classic frames carry no sequence numbers, a
+// short read or dropped response desynchronizes the stream irrecoverably:
+// the Client therefore marks its connection broken on any
+// transport-level error and redials (Client.Redial) rather than
+// attempting to resynchronize. A frame cut inside the trace-context
+// bytes is the same failure mode: the server sees io.ErrUnexpectedEOF
+// from the frame read and drops the connection, exactly as for a short
+// 'dcT1' frame.
 //
 // # Client concurrency contract
 //
@@ -45,17 +73,23 @@
 // sequentially; it is not safe for concurrent use. This mirrors a player's
 // fetch loop (the paper's Algorithm 1 walks segments in order) and keeps
 // the framing trivially correct — at most one request is ever in flight.
-// Open multiple Clients for parallel sessions; the Server handles each
-// connection in its own goroutine.
+// Open multiple Clients for parallel sessions, or share one MuxClient —
+// which is safe for concurrent use and pipelines requests on a single
+// connection — among many sessions; the Server handles each connection
+// in its own goroutine and each pipelined request in a bounded worker.
 //
-// # Fault tolerance
+// # Fault tolerance and admission control
 //
 // Client.Retry configures retries with exponential backoff and jitter plus
 // a per-request deadline; see RetryPolicy. Application-level failures
 // (StatusNotFound, StatusBadReq) are never retried — only transport-level
-// errors and timeouts are, after reconnecting through Client.Redial. The
-// internal/faultnet package injects deterministic faults beneath a Client
-// for testing; docs/OPERATIONS.md describes the failure modes and the
+// errors and timeouts are, after reconnecting through Client.Redial.
+// StatusRetryAfter sits in between: it is a deterministic rejection (the
+// connection stays synchronized) but a retryable one — clients honor the
+// carried hint as a backoff floor and try again under a separate shed
+// budget (RetryPolicy.ShedRetries). The internal/faultnet package
+// injects deterministic faults beneath a Client for testing;
+// docs/OPERATIONS.md describes the failure modes and the
 // degraded-playback semantics end to end.
 package transport
 
@@ -64,6 +98,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"dcsr/internal/edsr"
 	"dcsr/internal/stream"
@@ -74,6 +109,7 @@ const (
 	OpManifest = 1 // payload: none          → JSON WireManifest
 	OpSegment  = 2 // payload: segment index → marshaled codec.Stream
 	OpModel    = 3 // payload: model label   → serialized weights
+	OpVideos   = 4 // payload: none          → JSON WireDirectory
 )
 
 // Response status codes.
@@ -81,6 +117,13 @@ const (
 	StatusOK       = 0
 	StatusNotFound = 1
 	StatusBadReq   = 2
+	// StatusRetryAfter is a typed admission rejection: the server is over
+	// budget and shed the request deterministically. Its payload is a
+	// 4-byte big-endian backoff hint in milliseconds; clients honor it as
+	// a floor on their next backoff (see RetryPolicy.ShedRetries). Unlike
+	// transport errors the connection stays synchronized, so no redial is
+	// needed.
+	StatusRetryAfter = 3
 )
 
 // maxPayload bounds a single response (64 MiB) so a corrupt or malicious
@@ -91,12 +134,15 @@ const maxPayload = 64 << 20
 const (
 	reqFrameBytes       = 9  // magic(4) + opcode(1) + arg(4)
 	tracedReqFrameBytes = 26 // reqFrameBytes + traceID(8) + spanID(8) + attempt(1)
+	muxReqFrameBytes    = 34 // magic(4) + opcode(1) + arg(4) + video(4) + reqID(4) + traceID(8) + spanID(8) + attempt(1)
 	respFrameBytes      = 5  // status(1) + length(4)
+	muxRespFrameBytes   = 9  // reqID(4) + status(1) + length(4)
 )
 
 var (
 	protoMagic  = [4]byte{'d', 'c', 'T', '1'}
 	tracedMagic = [4]byte{'d', 'c', 'T', '2'}
+	muxMagic    = [4]byte{'d', 'c', 'T', '3'}
 )
 
 // TraceContext is the trace identity a traced ('dcT2') request carries:
@@ -130,6 +176,12 @@ type WireManifest struct {
 	// request frames. A manifest from an older server decodes with
 	// Trace == false, keeping a newer client on plain frames.
 	Trace bool `json:"trace,omitempty"`
+	// Mux advertises that the server understands multiplexed ('dcT3')
+	// request frames, serves OpVideos, and may answer any request with
+	// StatusRetryAfter. A manifest from an older server decodes with
+	// Mux == false, keeping a newer client on classic framing and
+	// treating every rejection as terminal.
+	Mux bool `json:"mux,omitempty"`
 }
 
 // Manifest converts the wire form back to a stream.Manifest.
@@ -144,20 +196,102 @@ func (wm *WireManifest) Manifest() *stream.Manifest {
 
 // EncodeWireManifest serializes a manifest for OpManifest responses.
 func EncodeWireManifest(fps int, micro edsr.Config, m *stream.Manifest) ([]byte, error) {
-	wm := WireManifest{FPS: fps, MicroConfig: micro, Segments: m.Segments, Trace: true}
+	wm := WireManifest{FPS: fps, MicroConfig: micro, Segments: m.Segments, Trace: true, Mux: true}
 	for _, l := range m.ModelLabels() {
 		wm.Models = append(wm.Models, m.Models[l])
 	}
 	return json.Marshal(wm)
 }
 
-// DecodeWireManifest parses an OpManifest payload.
+// DecodeWireManifest parses an OpManifest payload. Duplicate segment
+// indices or duplicate model labels are rejected here at the trust
+// boundary: Manifest() keys models by label, so a duplicate would
+// silently shadow an earlier entry and the client would enhance with the
+// wrong weights.
 func DecodeWireManifest(data []byte) (*WireManifest, error) {
 	var wm WireManifest
 	if err := json.Unmarshal(data, &wm); err != nil {
 		return nil, fmt.Errorf("transport: bad manifest payload: %w", err)
 	}
+	seenSeg := make(map[int]bool, len(wm.Segments))
+	for _, s := range wm.Segments {
+		if seenSeg[s.Index] {
+			return nil, fmt.Errorf("transport: manifest repeats segment index %d", s.Index)
+		}
+		seenSeg[s.Index] = true
+	}
+	seenModel := make(map[int]bool, len(wm.Models))
+	for _, mi := range wm.Models {
+		if seenModel[mi.Label] {
+			return nil, fmt.Errorf("transport: manifest repeats model label %d", mi.Label)
+		}
+		seenModel[mi.Label] = true
+	}
 	return &wm, nil
+}
+
+// WireVideo is one hosted video's entry in the OpVideos directory:
+// enough for a client to pick a video (by digest or position) and to
+// budget the session before fetching the full manifest.
+type WireVideo struct {
+	// ID is the video's routing handle for mux frames; ID 0 is the
+	// server's default video, the one classic clients get.
+	ID uint32 `json:"id"`
+	// Digest is the hex SHA-256 content digest of the prepared video
+	// (segment payloads plus model payloads), the stable name a client
+	// selects by.
+	Digest     string `json:"digest"`
+	FPS        int    `json:"fps"`
+	Segments   int    `json:"segments"`
+	Models     int    `json:"models"`
+	VideoBytes int64  `json:"video_bytes"`
+	ModelBytes int64  `json:"model_bytes"`
+}
+
+// WireDirectory is the JSON document served for OpVideos: every video the
+// server hosts, in registration order (so Videos[0] is the default).
+type WireDirectory struct {
+	Videos []WireVideo `json:"videos"`
+}
+
+// EncodeWireDirectory serializes a directory for OpVideos responses.
+func EncodeWireDirectory(d *WireDirectory) ([]byte, error) {
+	return json.Marshal(d)
+}
+
+// DecodeWireDirectory parses an OpVideos payload.
+func DecodeWireDirectory(data []byte) (*WireDirectory, error) {
+	var d WireDirectory
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("transport: bad directory payload: %w", err)
+	}
+	return &d, nil
+}
+
+// retryAfterPayload encodes an admission backoff hint as the 4-byte
+// big-endian millisecond payload of a StatusRetryAfter response. Hints
+// round up to a whole millisecond so a nonzero hint never encodes to
+// zero, and saturate at ~49 days.
+func retryAfterPayload(d time.Duration) []byte {
+	ms := (d + time.Millisecond - 1) / time.Millisecond
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > 0xFFFFFFFF {
+		ms = 0xFFFFFFFF
+	}
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(ms))
+	return buf[:]
+}
+
+// parseRetryAfter decodes a StatusRetryAfter payload; a malformed or
+// absent payload yields zero, which clients treat as "no hint".
+func parseRetryAfter(payload []byte) time.Duration {
+	if len(payload) != 4 {
+		return 0
+	}
+	return time.Duration(binary.BigEndian.Uint32(payload)) * time.Millisecond
 }
 
 // writeRequest frames a plain 'dcT1' request: magic, opcode byte, uint32
@@ -186,36 +320,88 @@ func writeRequestTraced(w io.Writer, op byte, arg uint32, tc TraceContext) error
 	return err
 }
 
-// readRequest parses a plain or traced request frame; a plain frame (and
-// a traced frame with trace ID zero) yields the zero TraceContext.
-// io.EOF is returned as-is so servers can treat a clean close between
-// requests as normal termination; a connection cut mid-frame — including
-// inside the trace-context bytes — surfaces as a wrapped
-// io.ErrUnexpectedEOF, the ordinary broken-connection path.
-func readRequest(r io.Reader) (op byte, arg uint32, tc TraceContext, err error) {
-	var buf [tracedReqFrameBytes]byte
+// writeRequestMux frames a multiplexed 'dcT3' request routed to video,
+// tagged with the client-chosen request ID that the server echoes back.
+// The whole frame goes out in one Write so the fault layer treats it as
+// one request.
+func writeRequestMux(w io.Writer, op byte, arg, video, id uint32, tc TraceContext) error {
+	var buf [muxReqFrameBytes]byte
+	copy(buf[:4], muxMagic[:])
+	buf[4] = op
+	binary.BigEndian.PutUint32(buf[5:], arg)
+	binary.BigEndian.PutUint32(buf[9:], video)
+	binary.BigEndian.PutUint32(buf[13:], id)
+	binary.BigEndian.PutUint64(buf[17:], tc.TraceID)
+	binary.BigEndian.PutUint64(buf[25:], tc.SpanID)
+	buf[33] = tc.Attempt
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// wireRequest is one parsed request frame of any protocol generation.
+// Video, ID and Mux are meaningful only for 'dcT3' frames; a classic
+// frame parses with Mux false and video/ID zero, which routes it to the
+// default video.
+type wireRequest struct {
+	Op    byte
+	Arg   uint32
+	Video uint32
+	ID    uint32
+	Mux   bool
+	TC    TraceContext
+}
+
+// readRequest parses a plain, traced or multiplexed request frame; a
+// plain frame (and a traced frame with trace ID zero) yields the zero
+// TraceContext. io.EOF is returned as-is so servers can treat a clean
+// close between requests as normal termination; a connection cut
+// mid-frame — including inside the trace-context or mux bytes —
+// surfaces as a wrapped io.ErrUnexpectedEOF, the ordinary
+// broken-connection path.
+func readRequest(r io.Reader) (wireRequest, error) {
+	var req wireRequest
+	var buf [muxReqFrameBytes]byte
 	if _, err := io.ReadFull(r, buf[:reqFrameBytes]); err != nil {
 		if err == io.EOF {
-			return 0, 0, TraceContext{}, io.EOF
+			return req, io.EOF
 		}
-		return 0, 0, TraceContext{}, fmt.Errorf("transport: reading request: %w", err)
+		return req, fmt.Errorf("transport: reading request: %w", err)
 	}
 	switch [4]byte(buf[:4]) {
 	case protoMagic:
+		req.Op = buf[4]
+		req.Arg = binary.BigEndian.Uint32(buf[5:])
 	case tracedMagic:
-		if _, err := io.ReadFull(r, buf[reqFrameBytes:]); err != nil {
+		if _, err := io.ReadFull(r, buf[reqFrameBytes:tracedReqFrameBytes]); err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
 			}
-			return 0, 0, TraceContext{}, fmt.Errorf("transport: reading trace context: %w", err)
+			return req, fmt.Errorf("transport: reading trace context: %w", err)
 		}
-		tc.TraceID = binary.BigEndian.Uint64(buf[9:])
-		tc.SpanID = binary.BigEndian.Uint64(buf[17:])
-		tc.Attempt = buf[25]
+		req.Op = buf[4]
+		req.Arg = binary.BigEndian.Uint32(buf[5:])
+		req.TC.TraceID = binary.BigEndian.Uint64(buf[9:])
+		req.TC.SpanID = binary.BigEndian.Uint64(buf[17:])
+		req.TC.Attempt = buf[25]
+	case muxMagic:
+		if _, err := io.ReadFull(r, buf[reqFrameBytes:muxReqFrameBytes]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return req, fmt.Errorf("transport: reading mux frame: %w", err)
+		}
+		req.Mux = true
+		req.Op = buf[4]
+		req.Arg = binary.BigEndian.Uint32(buf[5:])
+		req.Video = binary.BigEndian.Uint32(buf[9:])
+		req.ID = binary.BigEndian.Uint32(buf[13:])
+		req.TC.TraceID = binary.BigEndian.Uint64(buf[17:])
+		req.TC.SpanID = binary.BigEndian.Uint64(buf[25:])
+		req.TC.Attempt = buf[33]
 	default:
-		return 0, 0, TraceContext{}, fmt.Errorf("transport: bad request magic %x", buf[:4])
+		return req, fmt.Errorf("transport: bad request magic %x", buf[:4])
 	}
-	return buf[4], binary.BigEndian.Uint32(buf[5:]), tc, nil
+	return req, nil
 }
 
 // writeResponse frames a response: status byte + uint32 length + payload.
@@ -249,4 +435,42 @@ func readResponse(r io.Reader) (status byte, payload []byte, err error) {
 		return 0, nil, fmt.Errorf("transport: reading response payload: %w", err)
 	}
 	return hdr[0], payload, nil
+}
+
+// writeResponseMux frames a multiplexed response: the echoed request ID,
+// status byte, uint32 length, then the payload. The 9-byte header goes
+// out in one Write.
+func writeResponseMux(w io.Writer, id uint32, status byte, payload []byte) error {
+	var hdr [muxRespFrameBytes]byte
+	binary.BigEndian.PutUint32(hdr[:4], id)
+	hdr[4] = status
+	binary.BigEndian.PutUint32(hdr[5:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readResponseMux parses a multiplexed response frame, enforcing the
+// payload bound.
+func readResponseMux(r io.Reader) (id uint32, status byte, payload []byte, err error) {
+	var hdr [muxRespFrameBytes]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, fmt.Errorf("transport: reading mux response header: %w", err)
+	}
+	id = binary.BigEndian.Uint32(hdr[:4])
+	n := binary.BigEndian.Uint32(hdr[5:])
+	if n > maxPayload {
+		return 0, 0, nil, fmt.Errorf("transport: response of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, fmt.Errorf("transport: reading mux response payload: %w", err)
+	}
+	return id, hdr[4], payload, nil
 }

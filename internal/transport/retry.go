@@ -22,10 +22,21 @@ import (
 // request leaves the connection desynchronized, so a retry first
 // re-establishes the connection through Client.Redial; without a Redial
 // hook, transport-level failures are fatal exactly as in the zero policy.
+//
+// StatusRetryAfter — the server's admission shed — is a third class: the
+// connection stays synchronized (no redial) and the rejection is
+// retryable under its own ShedRetries budget, with the server's carried
+// hint acting as a floor on the backoff so a shedding server is never
+// hammered faster than it asked for.
 type RetryPolicy struct {
 	// MaxRetries is how many additional attempts follow a failed one.
 	// 0 (default) disables retrying.
 	MaxRetries int
+	// ShedRetries is how many additional attempts follow a
+	// StatusRetryAfter shed, each backing off by at least the server's
+	// hint. 0 (default) falls back to MaxRetries, so a retry-configured
+	// client honors sheds without extra configuration.
+	ShedRetries int
 	// BaseDelay is the backoff before the first retry (default 50ms).
 	BaseDelay time.Duration
 	// MaxDelay caps the grown backoff (default 2s).
@@ -47,9 +58,14 @@ type RetryPolicy struct {
 
 // withDefaults fills the documented defaults for enabled retrying.
 func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.ShedRetries < 0 {
+		p.ShedRetries = 0
+	}
 	if p.MaxRetries <= 0 {
 		p.MaxRetries = 0
-		return p
+		if p.ShedRetries == 0 {
+			return p
+		}
 	}
 	if p.BaseDelay <= 0 {
 		p.BaseDelay = 50 * time.Millisecond
@@ -85,18 +101,35 @@ func (p RetryPolicy) backoff(attempt int, rng *rand.Rand) time.Duration {
 	return time.Duration(d)
 }
 
+// shedBudget is the effective retry budget for admission sheds:
+// ShedRetries when set, otherwise MaxRetries.
+func (p RetryPolicy) shedBudget() int {
+	if p.ShedRetries > 0 {
+		return p.ShedRetries
+	}
+	return p.MaxRetries
+}
+
 // statusError is a protocol-level failure: the response arrived intact
 // but carried a non-OK status. The connection stays synchronized and the
-// outcome is deterministic, so statusError is never retried.
+// outcome is deterministic, so a statusError is never retried through the
+// transport path — with one exception: StatusRetryAfter carries the
+// server's backoff hint and is retried under RetryPolicy.ShedRetries.
 type statusError struct {
 	op     byte
 	arg    uint32
 	status byte
+	// hint is the server's retry-after backoff hint; nonzero only for
+	// StatusRetryAfter.
+	hint time.Duration
 }
 
 func (e *statusError) Error() string {
-	if e.status == StatusNotFound {
+	switch e.status {
+	case StatusNotFound:
 		return fmt.Sprintf("transport: op %d arg %d: not found", e.op, e.arg)
+	case StatusRetryAfter:
+		return fmt.Sprintf("transport: op %d arg %d: shed, retry after %v", e.op, e.arg, e.hint)
 	}
 	return fmt.Sprintf("transport: op %d arg %d: status %d", e.op, e.arg, e.status)
 }
@@ -107,6 +140,18 @@ func (e *statusError) Error() string {
 func IsNotFound(err error) bool {
 	var se *statusError
 	return errors.As(err, &se) && se.status == StatusNotFound
+}
+
+// IsRetryAfter reports whether err is the server's StatusRetryAfter
+// admission shed, returning the carried backoff hint. A client that
+// exhausts its shed budget surfaces this error; callers can keep backing
+// off by at least the hint and try again later.
+func IsRetryAfter(err error) (time.Duration, bool) {
+	var se *statusError
+	if errors.As(err, &se) && se.status == StatusRetryAfter {
+		return se.hint, true
+	}
+	return 0, false
 }
 
 // isTimeoutErr classifies deadline expiries for the timeout metric.

@@ -1,7 +1,11 @@
 package transport
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -10,68 +14,243 @@ import (
 	"time"
 
 	"dcsr/internal/core"
+	"dcsr/internal/modelstore"
 	"dcsr/internal/obs"
 )
 
-// Server serves one prepared dcSR stream to any number of concurrent
-// clients. It is safe for concurrent use; all served state is immutable
-// after construction.
-type Server struct {
+// hostedVideo is one registered prepared stream: its encoded manifest,
+// segment sub-streams, model payloads, and directory entry. All fields
+// are immutable after registration.
+type hostedVideo struct {
 	manifest []byte
 	segments [][]byte
 	models   map[uint32][]byte
+	info     WireVideo
+}
 
+// Server serves any number of prepared dcSR streams to any number of
+// concurrent clients, routed by content digest. It is safe for
+// concurrent use: registration may interleave with serving, and each
+// registered video's state is immutable.
+//
+// Classic ('dcT1'/'dcT2') clients are answered from the default video —
+// the first one registered — so a multi-video server is a drop-in
+// replacement for the old single-video one. Multiplexed ('dcT3') clients
+// address videos by ID from the OpVideos directory and may pipeline
+// requests; see the package documentation for the wire contract.
+type Server struct {
 	// Log receives per-connection errors and debug lines; nil discards
 	// them (the no-op default).
 	Log *obs.Logger
 	// Obs records transport_requests_total, transport_not_found_total,
-	// transport_bytes_in/out_total, the per-message-type latency
-	// histograms transport_{manifest,segment,model}_seconds, their
-	// rolling-window twins transport_requests_window_total and
+	// transport_shed_total, transport_bytes_in/out_total, the
+	// per-message-type latency histograms
+	// transport_{manifest,segment,model,directory}_seconds, their
+	// rolling-window twins transport_requests_window_total,
+	// transport_shed_window_total and
 	// transport_{manifest,segment,model}_window_seconds, and the
-	// transport_open_conns gauge. Traced ('dcT2') requests additionally
-	// record one server span each into Obs.TraceBuf, retrievable by
-	// trace ID via the debug sidecar's /debug/trace?id= endpoint. nil
-	// disables all of it.
+	// transport_open_conns, transport_videos, transport_inflight and
+	// transport_inflight_peak gauges. Traced ('dcT2'/'dcT3') requests
+	// additionally record one server span each into Obs.TraceBuf,
+	// retrievable by trace ID via the debug sidecar's /debug/trace?id=
+	// endpoint. nil disables all of it.
 	Obs *obs.Obs
+	// Admission bounds concurrent work before the server sheds load with
+	// StatusRetryAfter; the zero value admits everything. It is read when
+	// the first connection arrives — set it before calling Serve or
+	// ServeConn.
+	Admission AdmissionConfig
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu        sync.Mutex
+	videos    []*hostedVideo
+	byDigest  map[string]uint32
+	directory []byte
+	store     *modelstore.Mem
+	adm       *admission
+	ln        net.Listener
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+
+	// admitHold, when set, is called for every admitted request while its
+	// admission slot is held, before the response is written. Tests use
+	// it to pin the server at a known inflight level; nil in production.
+	admitHold func(op byte)
+	// gateNow overrides the admission token bucket's clock in tests.
+	gateNow func() time.Time
 }
 
-// NewServer packages a prepared stream for serving: the manifest, every
-// segment as an independently decodable sub-stream, and every micro model.
-func NewServer(p *core.Prepared) (*Server, error) {
-	man, err := EncodeWireManifest(p.FPS, p.MicroConfig, p.Manifest)
-	if err != nil {
-		return nil, err
-	}
+// NewFleetServer returns an empty multi-video server; call Register for
+// each prepared stream to host. Serving with no videos registered
+// answers every data op with StatusNotFound.
+func NewFleetServer() *Server {
 	s := &Server{
-		manifest: man,
-		models:   make(map[uint32][]byte),
+		byDigest: make(map[string]uint32),
+		store:    modelstore.NewMem(),
 		conns:    make(map[net.Conn]struct{}),
 	}
-	for i := range p.Segments {
-		sub, err := p.SegmentStream(i)
-		if err != nil {
-			return nil, fmt.Errorf("transport: packaging segment %d: %w", i, err)
-		}
-		s.segments = append(s.segments, sub.Marshal())
+	empty, err := EncodeWireDirectory(&WireDirectory{})
+	if err != nil {
+		// An empty directory is a constant JSON document; its encoding
+		// cannot fail.
+		panic(err)
 	}
-	for label, sm := range p.Models {
-		if label < 0 {
-			continue
-		}
-		s.models[uint32(label)] = sm.Bytes
+	s.directory = empty
+	return s
+}
+
+// NewServer packages a single prepared stream for serving: the manifest,
+// every segment as an independently decodable sub-stream, and every
+// micro model. It is Register on a fresh fleet server — the common
+// single-video case.
+func NewServer(p *core.Prepared) (*Server, error) {
+	s := NewFleetServer()
+	if _, err := s.Register(p); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
 
+// Register adds a prepared stream to the server and returns its hex
+// SHA-256 content digest — the stable name clients select it by. The
+// digest covers every segment payload and every model payload in label
+// order, so two Prepare runs that produced identical bytes collapse to
+// one registration error rather than two hosted copies.
+//
+// Registration validates the manifest (rejecting duplicate segment
+// indices and mismatched model labels — the silent-shadowing bug class),
+// refuses a digest that is already hosted, and refuses model payloads
+// whose content digest collides with a different payload already hosted
+// by another video. Identical model payloads across videos are stored
+// once (content-addressed dedupe).
+func (s *Server) Register(p *core.Prepared) (string, error) {
+	if err := p.Manifest.Validate(); err != nil {
+		return "", fmt.Errorf("transport: refusing to register: %w", err)
+	}
+	man, err := EncodeWireManifest(p.FPS, p.MicroConfig, p.Manifest)
+	if err != nil {
+		return "", err
+	}
+	v := &hostedVideo{manifest: man, models: make(map[uint32][]byte)}
+	hash := sha256.New()
+	for i := range p.Segments {
+		sub, err := p.SegmentStream(i)
+		if err != nil {
+			return "", fmt.Errorf("transport: packaging segment %d: %w", i, err)
+		}
+		data := sub.Marshal()
+		v.segments = append(v.segments, data)
+		//lint:allow errcheck hash.Hash.Write is documented to never return an error
+		hash.Write(data)
+	}
+	for _, label := range p.Manifest.ModelLabels() {
+		if label < 0 {
+			continue
+		}
+		sm, ok := p.Models[label]
+		if !ok {
+			return "", fmt.Errorf("transport: manifest model %d has no weights", label)
+		}
+		var lbl [4]byte
+		binary.BigEndian.PutUint32(lbl[:], uint32(label))
+		//lint:allow errcheck hash.Hash.Write is documented to never return an error
+		hash.Write(lbl[:])
+		//lint:allow errcheck hash.Hash.Write is documented to never return an error
+		hash.Write(sm.Bytes)
+	}
+	digest := hex.EncodeToString(hash.Sum(nil))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.byDigest[digest]; dup {
+		return "", fmt.Errorf("transport: video %s already registered", digest)
+	}
+	// Model payloads are content-addressed into a shared store so the
+	// k-th video re-using a model costs no extra memory, and a digest
+	// collision (same digest, different bytes) is caught instead of
+	// silently serving the wrong weights.
+	for _, label := range p.Manifest.ModelLabels() {
+		if label < 0 {
+			continue
+		}
+		data := p.Models[label].Bytes
+		d := modelstore.DigestOf(data)
+		if s.store.Has(d) {
+			existing, err := s.store.Get(d)
+			if err != nil {
+				return "", fmt.Errorf("transport: model store: %w", err)
+			}
+			if !bytes.Equal(existing, data) {
+				return "", fmt.Errorf("transport: model %d digest %s collides with a different hosted payload", label, d)
+			}
+			data = existing // dedupe: share the canonical copy
+		} else if _, err := s.store.Put(data); err != nil {
+			return "", fmt.Errorf("transport: model store: %w", err)
+		} else if data, err = s.store.Get(d); err != nil {
+			return "", fmt.Errorf("transport: model store: %w", err)
+		}
+		v.models[uint32(label)] = data
+	}
+	id := uint32(len(s.videos))
+	v.info = WireVideo{
+		ID:         id,
+		Digest:     digest,
+		FPS:        p.FPS,
+		Segments:   len(p.Manifest.Segments),
+		Models:     len(v.models),
+		VideoBytes: int64(p.Manifest.TotalVideoBytes()),
+		ModelBytes: int64(p.Manifest.TotalModelBytes()),
+	}
+	s.videos = append(s.videos, v)
+	s.byDigest[digest] = id
+	dir := WireDirectory{Videos: make([]WireVideo, 0, len(s.videos))}
+	for _, hv := range s.videos {
+		dir.Videos = append(dir.Videos, hv.info)
+	}
+	enc, err := EncodeWireDirectory(&dir)
+	if err != nil {
+		// Roll back so a half-registered video is never served.
+		s.videos = s.videos[:id]
+		delete(s.byDigest, digest)
+		return "", err
+	}
+	s.directory = enc
+	s.Obs.Gauge("transport_videos").Set(int64(len(s.videos)))
+	s.Log.Debug("transport: video registered", "id", id, "digest", digest,
+		"segments", v.info.Segments, "models", v.info.Models)
+	return digest, nil
+}
+
+// Videos returns the current directory of hosted videos in registration
+// order (index == video ID).
+func (s *Server) Videos() []WireVideo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WireVideo, 0, len(s.videos))
+	for _, v := range s.videos {
+		out = append(out, v.info)
+	}
+	return out
+}
+
+// serveState snapshots everything a request handler needs under one lock
+// acquisition: the video table, encoded directory, and admission state.
+func (s *Server) serveState() (videos []*hostedVideo, directory []byte, adm *admission) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.adm == nil {
+		s.adm = newAdmission(s.Admission)
+	}
+	return s.videos, s.directory, s.adm
+}
+
 // Serve accepts connections on l until Close is called. It always returns
 // a non-nil error; after Close it returns net.ErrClosed.
+//
+// When AdmissionConfig.MaxConns is set and reached, an excess connection
+// is still accepted but its first request is answered with
+// StatusRetryAfter and the connection is closed — a typed rejection the
+// client can back off from, rather than a silent refusal.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -92,11 +271,12 @@ func (s *Server) Serve(l net.Listener) error {
 			conn.Close()
 			return net.ErrClosed
 		}
+		over := s.Admission.MaxConns > 0 && len(s.conns) >= s.Admission.MaxConns
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
 		s.Obs.Gauge("transport_open_conns").Add(1)
-		s.Log.Debug("transport: conn accepted", "remote", conn.RemoteAddr())
+		s.Log.Debug("transport: conn accepted", "remote", conn.RemoteAddr(), "over_capacity", over)
 		go func() {
 			defer s.wg.Done()
 			defer func() {
@@ -107,113 +287,280 @@ func (s *Server) Serve(l net.Listener) error {
 				conn.Close()
 				s.Obs.Gauge("transport_open_conns").Add(-1)
 			}()
-			if err := s.ServeConn(conn); err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			var err error
+			if over {
+				err = s.rejectConn(conn)
+			} else {
+				err = s.ServeConn(conn)
+			}
+			if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.Log.Error("transport: conn failed", "remote", conn.RemoteAddr(), "err", err)
 			}
 		}()
 	}
 }
 
-// ServeConn answers requests on a single connection until it closes. It is
-// exported so tests and in-process clients can use net.Pipe.
+// rejectConn answers one request with StatusRetryAfter and returns,
+// closing the over-capacity connection after a single typed rejection.
+func (s *Server) rejectConn(conn io.ReadWriter) error {
+	_, _, adm := s.serveState()
+	req, err := readRequest(conn)
+	if err != nil {
+		return err
+	}
+	s.Obs.Counter("transport_shed_total").Inc()
+	s.Obs.WindowedCounter("transport_shed_window_total").Inc()
+	s.Log.Warn("transport: conn over capacity, shedding", "op", opName(req.Op))
+	hint := retryAfterPayload(adm.cfg.RetryAfter)
+	if req.Mux {
+		return writeResponseMux(conn, req.ID, StatusRetryAfter, hint)
+	}
+	return writeResponse(conn, StatusRetryAfter, hint)
+}
+
+// connMetrics is the per-connection bundle of metric handles, resolved
+// once per connection rather than per request. Literal names keep the
+// metric surface statically pinned to docs/OPERATIONS.md; nil Obs yields
+// nil no-op handles.
+type connMetrics struct {
+	reqCtr      *obs.Counter
+	nfCtr       *obs.Counter
+	shedCtr     *obs.Counter
+	inCtr       *obs.Counter
+	outCtr      *obs.Counter
+	inflight    *obs.Gauge
+	inflightPk  *obs.Gauge
+	opHists     map[byte]*obs.Histogram
+	unknownHist *obs.Histogram
+	wReqCtr     *obs.WindowedCounter
+	wShedCtr    *obs.WindowedCounter
+	opWHists    map[byte]*obs.WindowedHistogram
+}
+
+func (s *Server) connMetrics() *connMetrics {
+	return &connMetrics{
+		reqCtr:     s.Obs.Counter("transport_requests_total"),
+		nfCtr:      s.Obs.Counter("transport_not_found_total"),
+		shedCtr:    s.Obs.Counter("transport_shed_total"),
+		inCtr:      s.Obs.Counter("transport_bytes_in_total"),
+		outCtr:     s.Obs.Counter("transport_bytes_out_total"),
+		inflight:   s.Obs.Gauge("transport_inflight"),
+		inflightPk: s.Obs.Gauge("transport_inflight_peak"),
+		opHists: map[byte]*obs.Histogram{
+			OpManifest: s.Obs.Histogram("transport_manifest_seconds"),
+			OpSegment:  s.Obs.Histogram("transport_segment_seconds"),
+			OpModel:    s.Obs.Histogram("transport_model_seconds"),
+			OpVideos:   s.Obs.Histogram("transport_directory_seconds"),
+		},
+		unknownHist: s.Obs.Histogram("transport_unknown_seconds"),
+		wReqCtr:     s.Obs.WindowedCounter("transport_requests_window_total"),
+		wShedCtr:    s.Obs.WindowedCounter("transport_shed_window_total"),
+		opWHists: map[byte]*obs.WindowedHistogram{
+			OpManifest: s.Obs.WindowedHistogram("transport_manifest_window_seconds"),
+			OpSegment:  s.Obs.WindowedHistogram("transport_segment_window_seconds"),
+			OpModel:    s.Obs.WindowedHistogram("transport_model_window_seconds"),
+		},
+	}
+}
+
+// connWriter serializes response writes on one connection: classic
+// responses from the read loop and pipelined mux responses from handler
+// goroutines interleave on the same conn, so every write goes through
+// one mutex. The first write error is kept and poisons the connection —
+// later writes are dropped so handlers drain quickly once the conn is
+// gone.
+type connWriter struct {
+	mu   sync.Mutex
+	conn io.ReadWriter
+	err  error
+}
+
+func (w *connWriter) write(fn func(io.Writer) error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if err := fn(w.conn); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// ServeConn answers requests on a single connection until it closes. It
+// is exported so tests and in-process clients can use net.Pipe.
+//
+// Classic requests are answered in order, one at a time. Multiplexed
+// ('dcT3') requests are dispatched to per-request goroutines and may be
+// answered out of order; ServeConn does not return until every dispatched
+// request has finished.
 func (s *Server) ServeConn(conn io.ReadWriter) error {
-	reqCtr := s.Obs.Counter("transport_requests_total")
-	nfCtr := s.Obs.Counter("transport_not_found_total")
-	inCtr := s.Obs.Counter("transport_bytes_in_total")
-	outCtr := s.Obs.Counter("transport_bytes_out_total")
-	// Per-op latency histograms, resolved once per connection rather
-	// than per request. Literal names keep the metric surface statically
-	// pinned to docs/OPERATIONS.md; nil Obs yields nil no-op handles.
-	opHists := map[byte]*obs.Histogram{
-		OpManifest: s.Obs.Histogram("transport_manifest_seconds"),
-		OpSegment:  s.Obs.Histogram("transport_segment_seconds"),
-		OpModel:    s.Obs.Histogram("transport_model_seconds"),
-	}
-	unknownHist := s.Obs.Histogram("transport_unknown_seconds")
-	wReqCtr := s.Obs.WindowedCounter("transport_requests_window_total")
-	opWHists := map[byte]*obs.WindowedHistogram{
-		OpManifest: s.Obs.WindowedHistogram("transport_manifest_window_seconds"),
-		OpSegment:  s.Obs.WindowedHistogram("transport_segment_window_seconds"),
-		OpModel:    s.Obs.WindowedHistogram("transport_model_window_seconds"),
-	}
+	m := s.connMetrics()
+	videos, _, adm := s.serveState()
+	// Refresh here as well as in Register: the common wiring attaches Obs
+	// after construction, so the gauge would otherwise stay unregistered.
+	s.Obs.Gauge("transport_videos").Set(int64(len(videos)))
+	gate := adm.gate(s.gateNow)
+	cw := &connWriter{conn: conn}
+	var wg sync.WaitGroup
+	defer wg.Wait()
 	for {
-		op, arg, tc, err := readRequest(conn)
+		req, err := readRequest(conn)
 		if err != nil {
 			return err
 		}
-		reqCtr.Inc()
-		wReqCtr.Inc()
-		inCtr.Add(tc.frameBytes())
-		var t0 time.Time
-		if s.Obs != nil {
-			t0 = time.Now()
+		m.reqCtr.Inc()
+		m.wReqCtr.Inc()
+		if req.Mux {
+			m.inCtr.Add(muxReqFrameBytes)
+		} else {
+			m.inCtr.Add(req.TC.frameBytes())
 		}
-		// A traced request gets a server-side span joined to the
-		// client's trace, retained in the trace buffer for
-		// /debug/trace?id= — this is what lets an operator attribute a
-		// slow fetch to the serving side after the fact.
-		var span *obs.Span
-		if tc.TraceID != 0 && s.Obs != nil {
-			span = obs.JoinSpan("server."+opName(op), tc.TraceID, tc.SpanID)
-			span.Set("op", opName(op))
-			span.Set("arg", arg)
-			span.Set("attempt", int(tc.Attempt))
-		}
-		var payload []byte
-		status := byte(StatusOK)
-		switch op {
-		case OpManifest:
-			payload = s.manifest
-		case OpSegment:
-			if int(arg) >= len(s.segments) {
-				status = StatusNotFound
-			} else {
-				payload = s.segments[arg]
+		release, hint, ok := gate.admit(req.Op)
+		if !ok {
+			m.shedCtr.Inc()
+			m.wShedCtr.Inc()
+			s.Log.Warn("transport: request shed", "op", opName(req.Op), "hint", hint)
+			if err := s.respond(cw, m, req, StatusRetryAfter, retryAfterPayload(hint)); err != nil {
+				return err
 			}
-		case OpModel:
-			data, ok := s.models[arg]
-			if !ok {
-				status = StatusNotFound
-			} else {
-				payload = data
-			}
-		default:
-			status = StatusBadReq
+			continue
 		}
-		if status != StatusOK {
-			payload = nil
-			if status == StatusNotFound {
-				nfCtr.Inc()
-			}
-			s.Log.Warn("transport: request rejected", "op", opName(op), "arg", arg, "status", status)
+		if req.Mux {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer release()
+				//lint:allow errcheck the write error is retained in connWriter and surfaces when the read loop fails; a per-request goroutine has nowhere better to report it
+				s.handle(cw, m, adm, req)
+			}()
+			continue
 		}
-		err = writeResponse(conn, status, payload)
+		err = s.handle(cw, m, adm, req)
+		release()
 		if err != nil {
-			if span != nil {
-				span.Set("status", "write_failed")
-				span.End()
-				s.Obs.RecordTrace(span)
-			}
 			return err
 		}
-		outCtr.Add(respFrameBytes + int64(len(payload)))
+	}
+}
+
+// handle serves one admitted request end to end: resolve the video,
+// look up the payload, stamp the trace span, and write the response
+// through the connection's serialized writer.
+func (s *Server) handle(cw *connWriter, m *connMetrics, adm *admission, req wireRequest) error {
+	if s.admitHold != nil {
+		s.admitHold(req.Op)
+	}
+	inflight, peak := adm.snapshot()
+	m.inflight.Set(int64(inflight))
+	m.inflightPk.Set(int64(peak))
+	var t0 time.Time
+	if s.Obs != nil {
+		t0 = time.Now()
+	}
+	// A traced request gets a server-side span joined to the client's
+	// trace, retained in the trace buffer for /debug/trace?id= — this is
+	// what lets an operator attribute a slow fetch to the serving side
+	// after the fact.
+	var span *obs.Span
+	if req.TC.TraceID != 0 && s.Obs != nil {
+		span = obs.JoinSpan("server."+opName(req.Op), req.TC.TraceID, req.TC.SpanID)
+		span.Set("op", opName(req.Op))
+		span.Set("arg", req.Arg)
+		span.Set("attempt", int(req.TC.Attempt))
+		if req.Mux {
+			span.Set("video", req.Video)
+		}
+	}
+	videos, directory, _ := s.serveState()
+	var payload []byte
+	status := byte(StatusOK)
+	var v *hostedVideo
+	if int(req.Video) < len(videos) {
+		v = videos[req.Video]
+	}
+	switch req.Op {
+	case OpVideos:
+		payload = directory
+	case OpManifest:
+		if v == nil {
+			status = StatusNotFound
+		} else {
+			payload = v.manifest
+		}
+	case OpSegment:
+		if v == nil || int(req.Arg) >= len(v.segments) {
+			status = StatusNotFound
+		} else {
+			payload = v.segments[req.Arg]
+		}
+	case OpModel:
+		if v == nil {
+			status = StatusNotFound
+		} else if data, ok := v.models[req.Arg]; ok {
+			payload = data
+		} else {
+			status = StatusNotFound
+		}
+	default:
+		status = StatusBadReq
+	}
+	if status != StatusOK {
+		payload = nil
+		if status == StatusNotFound {
+			m.nfCtr.Inc()
+		}
+		s.Log.Warn("transport: request rejected", "op", opName(req.Op), "arg", req.Arg,
+			"video", req.Video, "status", status)
+	}
+	err := s.respond(cw, m, req, status, payload)
+	if err != nil {
 		if span != nil {
-			span.Set("status", int(status))
-			span.Set("bytes_out", respFrameBytes+len(payload))
+			span.Set("status", "write_failed")
 			span.End()
 			s.Obs.RecordTrace(span)
 		}
-		if s.Obs != nil {
-			elapsed := time.Since(t0).Seconds()
-			h, ok := opHists[op]
-			if !ok {
-				h = unknownHist
-			}
-			h.Observe(elapsed)
-			// Missing map entry (unknown op) yields a nil no-op handle.
-			opWHists[op].Observe(elapsed)
+		return err
+	}
+	if span != nil {
+		span.Set("status", int(status))
+		span.Set("bytes_out", respFrameBytes+len(payload))
+		span.End()
+		s.Obs.RecordTrace(span)
+	}
+	if s.Obs != nil {
+		elapsed := time.Since(t0).Seconds()
+		h, ok := m.opHists[req.Op]
+		if !ok {
+			h = m.unknownHist
+		}
+		h.Observe(elapsed)
+		// Missing map entry (unknown op) yields a nil no-op handle.
+		m.opWHists[req.Op].Observe(elapsed)
+	}
+	return nil
+}
+
+// respond writes one response in the framing the request arrived in.
+func (s *Server) respond(cw *connWriter, m *connMetrics, req wireRequest, status byte, payload []byte) error {
+	var err error
+	if req.Mux {
+		err = cw.write(func(w io.Writer) error {
+			return writeResponseMux(w, req.ID, status, payload)
+		})
+		if err == nil {
+			m.outCtr.Add(muxRespFrameBytes + int64(len(payload)))
+		}
+	} else {
+		err = cw.write(func(w io.Writer) error {
+			return writeResponse(w, status, payload)
+		})
+		if err == nil {
+			m.outCtr.Add(respFrameBytes + int64(len(payload)))
 		}
 	}
+	return err
 }
 
 // opName maps a protocol opcode to its stable metric-name component.
@@ -225,6 +572,8 @@ func opName(op byte) string {
 		return "segment"
 	case OpModel:
 		return "model"
+	case OpVideos:
+		return "videos"
 	default:
 		return "unknown"
 	}

@@ -47,15 +47,15 @@ func TestWireTraceFraming(t *testing.T) {
 	if n := len(buf.String()); n != tracedReqFrameBytes {
 		t.Fatalf("traced frame is %d bytes, want %d", n, tracedReqFrameBytes)
 	}
-	op, arg, tc, err := readRequest(strings.NewReader(buf.String()))
+	req, err := readRequest(strings.NewReader(buf.String()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if op != OpModel || arg != 7 || tc != want {
-		t.Fatalf("round trip gave op=%d arg=%d tc=%+v", op, arg, tc)
+	if req.Op != OpModel || req.Arg != 7 || req.TC != want {
+		t.Fatalf("round trip gave op=%d arg=%d tc=%+v", req.Op, req.Arg, req.TC)
 	}
-	if tc.frameBytes() != tracedReqFrameBytes {
-		t.Errorf("frameBytes = %d", tc.frameBytes())
+	if req.TC.frameBytes() != tracedReqFrameBytes {
+		t.Errorf("frameBytes = %d", req.TC.frameBytes())
 	}
 	if (TraceContext{}).frameBytes() != reqFrameBytes {
 		t.Errorf("zero frameBytes = %d", TraceContext{}.frameBytes())
@@ -64,7 +64,7 @@ func TestWireTraceFraming(t *testing.T) {
 	// A traced frame cut inside the trace context is a broken
 	// connection (io.ErrUnexpectedEOF), not a parse of garbage.
 	cut := buf.String()[:reqFrameBytes+4]
-	if _, _, _, err := readRequest(strings.NewReader(cut)); !errors.Is(err, io.ErrUnexpectedEOF) {
+	if _, err := readRequest(strings.NewReader(cut)); !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("cut trace context gave %v, want io.ErrUnexpectedEOF", err)
 	}
 }
@@ -101,7 +101,7 @@ func TestWireTraceCompatOldClientNewServer(t *testing.T) {
 	}
 	// The new server's manifest advertises the capability old clients
 	// simply ignore.
-	wm, err := DecodeWireManifest(srv.manifest)
+	wm, err := DecodeWireManifest(srv.videos[0].manifest)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,11 +146,12 @@ func TestWireTraceCompatNewClientOldServer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wm, err := DecodeWireManifest(srv.manifest)
+	wm, err := DecodeWireManifest(srv.videos[0].manifest)
 	if err != nil {
 		t.Fatal(err)
 	}
 	wm.Trace = false // what an old server serves
+	wm.Mux = false
 	oldManifest, err := json.Marshal(wm)
 	if err != nil {
 		t.Fatal(err)
@@ -159,7 +160,7 @@ func TestWireTraceCompatNewClientOldServer(t *testing.T) {
 	cconn, sconn := net.Pipe()
 	defer cconn.Close()
 	defer sconn.Close()
-	go serveOldWire(t, sconn, oldManifest, srv.segments[0])
+	go serveOldWire(t, sconn, oldManifest, srv.videos[0].segments[0])
 
 	co := obs.New()
 	client := NewClient(cconn)
@@ -196,9 +197,9 @@ func TestTruncatedTraceHeaderIsBrokenConn(t *testing.T) {
 
 	cut := true
 	inj := faultnet.New(faultnet.Config{
-		// 13 bytes: the full legacy header plus 4 bytes of trace ID —
-		// the cut lands inside the new field.
-		TruncateAfter: reqFrameBytes + 4,
+		// 21 bytes: the full legacy header, the trace ID, plus 4 bytes
+		// of span ID — the cut lands inside the trace-context fields.
+		TruncateAfter: reqFrameBytes + 12,
 		Decide: func(_ int, frame []byte) faultnet.Kind {
 			if len(frame) == tracedReqFrameBytes && frame[4] == OpSegment && cut {
 				cut = false

@@ -51,20 +51,23 @@ func TestRequestResponseFraming(t *testing.T) {
 	if err := writeRequest(&buf, OpSegment, 42); err != nil {
 		t.Fatal(err)
 	}
-	op, arg, tc, err := readRequest(strings.NewReader(buf.String()))
+	req, err := readRequest(strings.NewReader(buf.String()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if op != OpSegment || arg != 42 {
-		t.Fatalf("round trip gave op=%d arg=%d", op, arg)
+	if req.Op != OpSegment || req.Arg != 42 {
+		t.Fatalf("round trip gave op=%d arg=%d", req.Op, req.Arg)
 	}
-	if tc != (TraceContext{}) {
-		t.Fatalf("plain frame parsed with trace context %+v", tc)
+	if req.TC != (TraceContext{}) {
+		t.Fatalf("plain frame parsed with trace context %+v", req.TC)
 	}
-	if _, _, _, err := readRequest(strings.NewReader("XXXXYYYYY")); err == nil {
+	if req.Mux || req.Video != 0 || req.ID != 0 {
+		t.Fatalf("plain frame parsed with mux fields %+v", req)
+	}
+	if _, err := readRequest(strings.NewReader("XXXXYYYYY")); err == nil {
 		t.Fatal("bad magic accepted")
 	}
-	if _, _, _, err := readRequest(strings.NewReader("")); err != io.EOF {
+	if _, err := readRequest(strings.NewReader("")); err != io.EOF {
 		t.Fatalf("empty stream: want io.EOF, got %v", err)
 	}
 }

@@ -155,6 +155,33 @@ func TestOperationsDocMetrics(t *testing.T) {
 	}
 	rawConn.Close()
 
+	// Admission shed: a server whose per-connection token bucket holds a
+	// single token sheds the second request with a typed retry-after,
+	// registering the shed counters on both sides (transport_shed_total,
+	// its window twin, and transport_client_shed_total).
+	shedSrv, err := transport.NewServer(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shedSrv.Obs = o
+	shedSrv.Admission = transport.AdmissionConfig{PerConnRate: 1e-9, PerConnBurst: 1}
+	scc, scs := net.Pipe()
+	shedDone := make(chan struct{})
+	go func() { defer close(shedDone); _ = shedSrv.ServeConn(scs) }()
+	shedClient := transport.NewClient(scc)
+	shedClient.Obs = o
+	if _, err := shedClient.Manifest(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shedClient.Segment(0); err == nil {
+		t.Fatal("second request on a drained bucket succeeded")
+	} else if _, ok := transport.IsRetryAfter(err); !ok {
+		t.Fatalf("second request on a drained bucket: want retry-after, got %v", err)
+	}
+	scc.Close()
+	<-shedDone
+	scs.Close()
+
 	// Quiesce: Close waits for every Serve-accepted handler to finish its
 	// accounting before we snapshot the registry.
 	if err := srv.Close(); err != nil {
