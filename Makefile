@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint test bench bench-all
+.PHONY: verify build vet lint lint-cold test bench bench-all
 
 # The experiments package trains real models and takes well over the
 # default 10m per-package limit under race instrumentation; the longer
@@ -19,6 +19,8 @@ GO ?= go
 # serving contract (old↔new framing both ways, typed shedding under
 # concurrency) by name before the sweep.
 verify: build vet lint
+	$(GO) test -run 'TestFixtures/(lockorder|lostcancel|atomicfield|errcmp|timerleak)' -v ./internal/lint/
+	$(GO) test -race -run 'TestRunnerDeterministic|TestRunnerCache' -v ./internal/lint/
 	$(GO) test -run 'TestPrepareGoldenEquivalence' -v ./internal/core/
 	$(GO) test -run 'TestWireTraceCompat' -v ./internal/transport/
 	$(GO) test -run 'TestMuxInteropNewClientOldServer|TestMuxInteropOldClientNewServer' -v ./internal/transport/
@@ -33,9 +35,15 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific static analysis (docs/LINTING.md): metric-name
-# discipline, determinism, error handling, nil-safety, goroutine joins.
+# discipline, determinism, error handling, nil-safety, goroutine joins,
+# lock ordering, cancel/timer hygiene, atomic-field and error-matching
+# discipline. Uses the content-hash diagnostic cache under .lintcache/;
+# lint-cold bypasses it for a full re-analysis.
 lint:
 	$(GO) run ./cmd/dcsr-lint ./...
+
+lint-cold:
+	$(GO) run ./cmd/dcsr-lint -no-cache ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces the invariant the obs windowed rings and the
+// admission counters live on: once any code in a package touches a
+// struct field through the function-form sync/atomic API
+// (atomic.AddInt64(&x.f, …), atomic.LoadUint64(&x.f), …), every other
+// access to that field must be atomic too. A single plain read or
+// write against an atomically-updated field is a data race the race
+// detector only catches when a test happens to hit the interleaving —
+// and worse, on 32-bit targets a plain 64-bit read can tear.
+//
+// The atomic touch set comes from the package's dataflow summaries
+// (summary.go); this analyzer then sweeps the package for plain
+// selector accesses to those same fields (object identity, not name
+// matching) outside atomic call arguments. Struct-typed atomics
+// (atomic.Int64 and friends) need no analyzer — their method set is
+// the only access path — and are the preferred fix for any finding
+// here.
+type AtomicField struct{}
+
+// Name implements Analyzer.
+func (*AtomicField) Name() string { return "atomicfield" }
+
+// Doc implements Analyzer.
+func (*AtomicField) Doc() string {
+	return "a field accessed via sync/atomic is never read or written plainly"
+}
+
+// Run implements Analyzer.
+func (a *AtomicField) Run(p *Pass) {
+	if p.sum == nil || len(p.sum.atomicFields) == 0 {
+		return
+	}
+	// Invert to object identity for matching.
+	watched := map[*types.Var]fieldKey{}
+	for key, v := range p.sum.fieldObjs {
+		watched[v] = key
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if p.sum.atomicNodes[sel] {
+				return true // this is one of the atomic call sites
+			}
+			s, ok := p.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			key, isWatched := watched[v]
+			if !isWatched {
+				return true
+			}
+			p.Reportf(sel.Pos(), "plain access to %s, which is accessed via sync/atomic elsewhere in this package; every access must go through sync/atomic (or migrate the field to atomic.%s)",
+				key, atomicTypeFor(v.Type()))
+			return true
+		})
+	}
+}
+
+// atomicTypeFor suggests the typed-atomic migration target for a field
+// type.
+func atomicTypeFor(t types.Type) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "Value"
+	}
+	switch b.Kind() {
+	case types.Int32:
+		return "Int32"
+	case types.Int64, types.Int:
+		return "Int64"
+	case types.Uint32:
+		return "Uint32"
+	case types.Uint64, types.Uint, types.Uintptr:
+		return "Uint64"
+	case types.Bool:
+		return "Bool"
+	default:
+		return "Value"
+	}
+}

@@ -1,0 +1,293 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// cacheVersion invalidates every entry when the engine's diagnostic
+// behaviour changes in a way file hashes cannot see (new analyzer
+// semantics, message format changes). Bump it with such changes.
+const cacheVersion = "dcsr-lint-v1"
+
+// cacheDirName is the cache's home under the module root. It is
+// dot-prefixed so PackageDirs never descends into it, and belongs in
+// .gitignore.
+const cacheDirName = ".lintcache"
+
+// Cache is the persistent diagnostic cache: one entry per package,
+// keyed by a content hash covering the package's own files, the files
+// of every module-local package it (transitively) imports, the
+// analyzer set, and the docs the analyzers read (the OPERATIONS.md
+// metric table). A hit replays the package's recorded diagnostics
+// without parsing or type-checking it; a key mismatch falls through to
+// a full analysis and overwrites the entry.
+//
+// The key deliberately includes transitive module-local dependency
+// hashes: analyzers consult type information from imported packages
+// (errcheck resolves callee signatures, errcmp sentinel types), so a
+// signature change in a dependency can change this package's
+// diagnostics even though its own bytes did not move.
+type Cache struct {
+	path string // cache file
+
+	mu      sync.Mutex
+	entries map[string]cacheEntry // import path → entry
+	dirty   bool
+	hits    int
+	misses  int
+}
+
+type cacheEntry struct {
+	Key   string       `json:"key"`
+	Diags []Diagnostic `json:"diags"`
+}
+
+type cacheFile struct {
+	Version string                `json:"version"`
+	Entries map[string]cacheEntry `json:"entries"`
+}
+
+// OpenCache loads (or initializes) the cache for the module rooted at
+// root. A missing or corrupt cache file is an empty cache, never an
+// error — the cache is an accelerator, not a dependency.
+func OpenCache(root string) *Cache {
+	c := &Cache{
+		path:    filepath.Join(root, cacheDirName, "diagnostics.json"),
+		entries: map[string]cacheEntry{},
+	}
+	data, err := os.ReadFile(c.path)
+	if err != nil {
+		return c
+	}
+	var f cacheFile
+	if err := json.Unmarshal(data, &f); err != nil || f.Version != cacheVersion {
+		return c
+	}
+	if f.Entries != nil {
+		c.entries = f.Entries
+	}
+	return c
+}
+
+// Get returns the cached diagnostics for importPath when key matches.
+func (c *Cache) Get(importPath, key string) ([]Diagnostic, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[importPath]
+	if !ok || e.Key != key {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return e.Diags, true
+}
+
+// Put records the diagnostics for importPath under key.
+func (c *Cache) Put(importPath, key string, diags []Diagnostic) {
+	if c == nil {
+		return
+	}
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[importPath] = cacheEntry{Key: key, Diags: diags}
+	c.dirty = true
+}
+
+// Save persists the cache if anything changed, atomically
+// (write-to-temp + rename), creating the cache directory on first use.
+func (c *Cache) Save() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.dirty {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(c.path), 0o755); err != nil {
+		return fmt.Errorf("lint: cache dir: %w", err)
+	}
+	data, err := json.Marshal(cacheFile{Version: cacheVersion, Entries: c.entries})
+	if err != nil {
+		return err
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("lint: cache write: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("lint: cache rename: %w", err)
+	}
+	c.dirty = false
+	return nil
+}
+
+// Stats reports hit/miss counts accumulated since the cache was opened.
+func (c *Cache) Stats() (hits, misses int) {
+	if c == nil {
+		return 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// keyer computes per-package cache keys. It memoizes per-directory file
+// hashes and import scans so the transitive closure walk touches each
+// directory once per run, and is safe for concurrent use by the
+// parallel runner.
+type keyer struct {
+	m *Module
+
+	mu   sync.Mutex
+	dirs map[string]*dirFacts
+	// extra is hashed into every key: analyzer fingerprint, engine
+	// version, and analyzer input docs.
+	extra string
+}
+
+type dirFacts struct {
+	once    sync.Once
+	hash    string   // content hash of the dir's non-test .go files
+	imports []string // module-local import paths
+	err     error
+}
+
+// newKeyer builds the keyer, folding the analyzer set and its
+// out-of-band inputs into the key prefix.
+func newKeyer(m *Module, analyzers []Analyzer) *keyer {
+	h := sha256.New()
+	fmt.Fprintln(h, cacheVersion)
+	names := make([]string, 0, len(analyzers))
+	for _, a := range analyzers {
+		names = append(names, a.Name()+"\x00"+a.Doc())
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintln(h, n)
+	}
+	// Analyzer inputs that live outside package sources: the metric
+	// table (metricnames) and go.mod (module path shapes import paths).
+	for _, rel := range []string{"docs/OPERATIONS.md", "go.mod"} {
+		data, err := os.ReadFile(filepath.Join(m.Root, filepath.FromSlash(rel)))
+		if err == nil {
+			fmt.Fprintf(h, "%s %x\n", rel, sha256.Sum256(data))
+		}
+	}
+	return &keyer{
+		m:     m,
+		dirs:  map[string]*dirFacts{},
+		extra: hex.EncodeToString(h.Sum(nil)),
+	}
+}
+
+// key computes the cache key for the package in dir: the key prefix
+// plus the dir's own file hash plus the file hashes of its transitive
+// module-local imports.
+func (k *keyer) key(dir string) (string, error) {
+	closure := map[string]bool{}
+	if err := k.close(dir, closure); err != nil {
+		return "", err
+	}
+	paths := make([]string, 0, len(closure))
+	for d := range closure {
+		paths = append(paths, d)
+	}
+	sort.Strings(paths)
+	h := sha256.New()
+	fmt.Fprintln(h, k.extra)
+	for _, d := range paths {
+		f := k.facts(d)
+		fmt.Fprintf(h, "%s %s\n", d, f.hash)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// close accumulates dir's transitive module-local dependency dirs.
+func (k *keyer) close(dir string, out map[string]bool) error {
+	if out[dir] {
+		return nil
+	}
+	out[dir] = true
+	f := k.facts(dir)
+	if f.err != nil {
+		return f.err
+	}
+	for _, imp := range f.imports {
+		rel := strings.TrimPrefix(strings.TrimPrefix(imp, k.m.Path), "/")
+		depDir := filepath.Join(k.m.Root, filepath.FromSlash(rel))
+		if err := k.close(depDir, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// facts hashes one directory's files and scans its imports, once.
+func (k *keyer) facts(dir string) *dirFacts {
+	k.mu.Lock()
+	f, ok := k.dirs[dir]
+	if !ok {
+		f = &dirFacts{}
+		k.dirs[dir] = f
+	}
+	k.mu.Unlock()
+	f.once.Do(func() { f.hash, f.imports, f.err = scanDir(k.m, dir) })
+	return f
+}
+
+// scanDir content-hashes the non-test .go files of dir and collects
+// their module-local imports via an imports-only parse.
+func scanDir(m *Module, dir string) (string, []string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return "", nil, err
+	}
+	h := sha256.New()
+	impSet := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		data, err := os.ReadFile(full)
+		if err != nil {
+			return "", nil, err
+		}
+		fmt.Fprintf(h, "%s %x\n", name, sha256.Sum256(data))
+		f, err := parser.ParseFile(fset, full, data, parser.ImportsOnly)
+		if err != nil {
+			continue // a parse error will surface during the real load
+		}
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+				impSet[path] = true
+			}
+		}
+	}
+	imports := make([]string, 0, len(impSet))
+	for p := range impSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	return hex.EncodeToString(h.Sum(nil)), imports, nil
+}

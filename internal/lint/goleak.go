@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // GoLeak requires every goroutine launched in a library package to carry
@@ -9,6 +10,14 @@ import (
 // send, or a close — so the pipeline cannot silently accumulate leaked
 // goroutines under production load. Package main (the CLIs and examples,
 // whose goroutines die with the process) is exempt.
+//
+// Two goroutine shapes are understood. A func-literal body is scanned
+// directly. A method or function of the same package launched by name —
+// `go s.serveMux(…)`, the mux server's per-request dispatch idiom — is
+// resolved through the package dataflow summaries (summary.go): the
+// callee's own body must carry the completion signal. Anything the
+// engine cannot see into (another package's function, a func value) is
+// still reported, because an invisible body is an unauditable one.
 type GoLeak struct{}
 
 // Name implements Analyzer.
@@ -30,17 +39,43 @@ func (a *GoLeak) Run(p *Pass) {
 			if !ok {
 				return true
 			}
-			lit, ok := g.Call.Fun.(*ast.FuncLit)
-			if !ok {
-				p.Reportf(g.Pos(), "goroutine body is not visible here; wrap it in a func literal with an explicit completion signal (WaitGroup Done, channel send, or close)")
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				if !hasCompletionSignal(lit.Body) {
+					p.Reportf(g.Pos(), "goroutine has no visible completion signal (WaitGroup Done, channel send, or close); a leak here accumulates under load")
+				}
 				return true
 			}
-			if !hasCompletionSignal(lit.Body) {
-				p.Reportf(g.Pos(), "goroutine has no visible completion signal (WaitGroup Done, channel send, or close); a leak here accumulates under load")
+			// A method-value goroutine (`go s.serveMux(…)`) resolves
+			// through the package summaries: the named callee's body is
+			// the goroutine body.
+			if fs := goCalleeSummary(p, g.Call); fs != nil {
+				if !fs.hasCompletion {
+					p.Reportf(g.Pos(), "goroutine %s has no visible completion signal in its body (WaitGroup Done, channel send, or close); a leak here accumulates under load", calleeLabel(fs))
+				}
+				return true
 			}
+			p.Reportf(g.Pos(), "goroutine body is not visible here; launch a same-package function or a func literal with an explicit completion signal (WaitGroup Done, channel send, or close)")
 			return true
 		})
 	}
+}
+
+// goCalleeSummary resolves a `go f(…)` / `go s.m(…)` callee to its
+// same-package dataflow summary, or nil when the body is out of sight.
+func goCalleeSummary(p *Pass, call *ast.CallExpr) *funcSummary {
+	if p.sum == nil {
+		return nil
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	return p.sum.lookup(obj)
 }
 
 // hasCompletionSignal scans a goroutine body for evidence it is joined:

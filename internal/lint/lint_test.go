@@ -63,6 +63,21 @@ func TestFixtures(t *testing.T) {
 		{"ctxcheck", func(path string) []Analyzer {
 			return []Analyzer{&CtxCheck{}}
 		}},
+		{"lockorder", func(path string) []Analyzer {
+			return []Analyzer{&LockOrder{}}
+		}},
+		{"lostcancel", func(path string) []Analyzer {
+			return []Analyzer{&LostCancel{}}
+		}},
+		{"atomicfield", func(path string) []Analyzer {
+			return []Analyzer{&AtomicField{}}
+		}},
+		{"errcmp", func(path string) []Analyzer {
+			return []Analyzer{&ErrCmp{}}
+		}},
+		{"timerleak", func(path string) []Analyzer {
+			return []Analyzer{&TimerLeak{}}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LostCancel enforces the contract printed in the context package's own
+// documentation: the CancelFunc returned by context.WithCancel,
+// WithTimeout, WithDeadline (and their *Cause variants) must be called,
+// or handed to someone who will call it — otherwise the parent context
+// retains the child forever and every timer behind a deadline context
+// survives until it fires. This is the stdlib `lostcancel` vet pass
+// rebuilt on this engine (the repo cannot use golang.org/x/tools), with
+// the summary layer standing in for its CFG:
+//
+//   - a cancel assigned to the blank identifier is always a finding;
+//   - a cancel that is never referenced again is a finding;
+//   - a cancel whose only further reference is being passed to a
+//     same-package function is resolved through that callee's summary:
+//     if the callee neither invokes nor lets the parameter escape, the
+//     cancel is still lost (one level of propagation).
+//
+// Calling, deferring, returning, storing, or passing the cancel to any
+// function the engine cannot see all count as "used" — degraded
+// analysis must stay silent rather than guess.
+type LostCancel struct{}
+
+// Name implements Analyzer.
+func (*LostCancel) Name() string { return "lostcancel" }
+
+// Doc implements Analyzer.
+func (*LostCancel) Doc() string {
+	return "context cancel functions must be called or returned on every path"
+}
+
+// cancelCtors are the context constructors whose second result is a
+// cancel function.
+var cancelCtors = map[string]bool{
+	"WithCancel": true, "WithTimeout": true, "WithDeadline": true,
+	"WithCancelCause": true, "WithTimeoutCause": true, "WithDeadlineCause": true,
+}
+
+// Run implements Analyzer.
+func (a *LostCancel) Run(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				a.checkBody(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkBody finds cancel assignments directly inside body (not in
+// nested function literals — those are visited on their own) and
+// verifies each cancel is used.
+func (a *LostCancel) checkBody(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+			return false // nested literal: visited separately
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 || len(assign.Lhs) != 2 {
+			return true
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok || !isCancelCtor(p, call) {
+			return true
+		}
+		cancelExpr := assign.Lhs[1]
+		id, ok := cancelExpr.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			p.Reportf(id.Pos(), "the cancel function returned by %s is discarded; the context and its resources leak until the parent is cancelled", ctorName(call))
+			return true
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if !a.cancelUsed(p, body, id, obj) {
+			p.Reportf(id.Pos(), "the cancel function %s returned by %s is never called or passed on; defer %s() or hand it to the owner of the context's lifetime", id.Name, ctorName(call), id.Name)
+		}
+		return true
+	})
+}
+
+// cancelUsed reports whether the cancel object is meaningfully used
+// anywhere in the enclosing body after its defining identifier.
+func (a *LostCancel) cancelUsed(p *Pass, body *ast.BlockStmt, def *ast.Ident, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		// A direct call: cancel().
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fid, ok := call.Fun.(*ast.Ident); ok && p.Info.Uses[fid] == obj {
+				used = true
+				return false
+			}
+			// Passed as an argument.
+			for i, arg := range call.Args {
+				aid, ok := arg.(*ast.Ident)
+				if !ok || p.Info.Uses[aid] != obj {
+					continue
+				}
+				if passConsumesFunc(p, call, i) {
+					used = true
+					return false
+				}
+				// Known same-package callee that provably ignores the
+				// parameter: keep looking for a real use.
+			}
+			return true
+		}
+		// Returned, assigned elsewhere, captured in a composite literal,
+		// stored in a struct: all count as used.
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if identIs(p, res, obj) {
+					used = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				if identIs(p, rhs, obj) {
+					used = true
+					return false
+				}
+			}
+		case *ast.KeyValueExpr:
+			if identIs(p, n.Value, obj) {
+				used = true
+				return false
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if identIs(p, el, obj) {
+					used = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return used
+}
+
+// passConsumesFunc decides whether passing a func value as argument i of
+// call counts as using it. Unknown callees are conservative "yes"; a
+// same-package callee answers from its summary (one propagation level):
+// the parameter must be invoked, stopped, or escape.
+func passConsumesFunc(p *Pass, call *ast.CallExpr, i int) bool {
+	var callee *funcSummary
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee = p.sum.lookup(p.Info.Uses[fun])
+	case *ast.SelectorExpr:
+		callee = p.sum.lookup(p.Info.Uses[fun.Sel])
+	}
+	if callee == nil {
+		return true // cannot see the callee: assume it uses the value
+	}
+	// Map argument index to parameter index; methods called as m.f(a)
+	// line up directly, variadic tails collapse onto the last parameter.
+	pi := i
+	if callee.decl.Type.Params != nil {
+		if n := callee.decl.Type.Params.NumFields(); n > 0 && pi >= paramCount(callee.decl.Type) {
+			pi = paramCount(callee.decl.Type) - 1
+		}
+	}
+	u := callee.params[pi]
+	return u.called || u.stopped || u.escapes
+}
+
+func paramCount(ft *ast.FuncType) int {
+	n := 0
+	if ft.Params != nil {
+		for _, f := range ft.Params.List {
+			if len(f.Names) == 0 {
+				n++
+			} else {
+				n += len(f.Names)
+			}
+		}
+	}
+	return n
+}
+
+func identIs(p *Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && p.Info.Uses[id] == obj
+}
+
+// isCancelCtor reports whether call is context.WithCancel /
+// WithTimeout / WithDeadline (or a *Cause variant), resolved through
+// type information.
+func isCancelCtor(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !cancelCtors[sel.Sel.Name] {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}
+
+func ctorName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return "context." + sel.Sel.Name
+	}
+	return "the context constructor"
+}

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureDirs returns the fixture packages under testdata/src as lint
+// patterns — a multi-package corpus with known, non-empty diagnostic
+// output for exercising the runner itself.
+func fixtureDirs(t *testing.T, m *Module) []string {
+	t.Helper()
+	base := filepath.Join(m.Root, filepath.FromSlash(fixtureBase))
+	ents, err := os.ReadDir(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, e := range ents {
+		if e.IsDir() {
+			dirs = append(dirs, fixtureBase+"/"+e.Name())
+		}
+	}
+	if len(dirs) < 3 {
+		t.Fatalf("expected several fixture packages under %s, got %v", base, dirs)
+	}
+	return dirs
+}
+
+// render flattens diagnostics to the exact byte stream a caller would
+// print, so "deterministic" means byte-identical, not just same-set.
+func render(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestRunnerDeterministic pins the runner's output contract: the full
+// default analyzer set over the whole fixture corpus produces
+// byte-identical output across repeated runs and across worker counts.
+// `make verify` runs this under -race, which also makes it the data-race
+// gate for the parallel runner and the shared summary layer.
+func TestRunnerDeterministic(t *testing.T) {
+	m := newTestModule(t)
+	patterns := fixtureDirs(t, m)
+	as, err := DefaultAnalyzers(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for run := 0; run < 3; run++ {
+		for _, workers := range []int{1, 4, 8} {
+			r := &Runner{Module: m, Analyzers: as, Parallel: workers}
+			diags, err := r.Lint(patterns...)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			got := render(diags)
+			if got == "" {
+				t.Fatalf("workers=%d: fixture corpus produced no diagnostics; the determinism test needs a non-trivial output", workers)
+			}
+			if want == "" {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("run %d workers=%d: output differs from first run:\n--- first\n%s--- got\n%s", run, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestRunnerCache proves the cache round-trip: a cold run misses every
+// package and a warm run with the persisted cache hits every package
+// and returns byte-identical diagnostics — then an analyzer-set change
+// invalidates it.
+func TestRunnerCache(t *testing.T) {
+	m := newTestModule(t)
+	patterns := fixtureDirs(t, m)
+	as, err := DefaultAnalyzers(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cache keys off the real module root's file hashes, but persists
+	// wherever we point it; use a scratch root so the test never touches
+	// a developer's .lintcache.
+	scratch := t.TempDir()
+
+	cold := OpenCache(scratch)
+	r := &Runner{Module: m, Analyzers: as, Cache: cold}
+	coldDiags, err := r.Lint(patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := cold.Stats(); hits != 0 || misses != len(patterns) {
+		t.Errorf("cold run: hits=%d misses=%d, want 0/%d", hits, misses, len(patterns))
+	}
+	if err := cold.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := OpenCache(scratch)
+	r2 := &Runner{Module: m, Analyzers: as, Cache: warm}
+	warmDiags, err := r2.Lint(patterns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := warm.Stats(); hits != len(patterns) || misses != 0 {
+		t.Errorf("warm run: hits=%d misses=%d, want %d/0", hits, misses, len(patterns))
+	}
+	if render(coldDiags) != render(warmDiags) {
+		t.Errorf("cache replay differs:\n--- cold\n%s--- warm\n%s", render(coldDiags), render(warmDiags))
+	}
+
+	// Shrinking the analyzer set changes the fingerprint: every package
+	// must miss again.
+	stale := OpenCache(scratch)
+	r3 := &Runner{Module: m, Analyzers: as[:len(as)-1], Cache: stale}
+	if _, err := r3.Lint(patterns...); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := stale.Stats(); hits != 0 {
+		t.Errorf("analyzer-set change still hit the cache %d times; the fingerprint is not part of the key", hits)
+	}
+}
+
+// TestRunnerTimings checks the per-analyzer accounting the -v flag
+// prints: after a run, every analyzer (and the shared summary pre-pass)
+// has a recorded duration.
+func TestRunnerTimings(t *testing.T) {
+	m := newTestModule(t)
+	as, err := DefaultAnalyzers(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Module: m, Analyzers: as}
+	if _, err := r.Lint(fixtureBase + "/lockorder"); err != nil {
+		t.Fatal(err)
+	}
+	timings := r.Timings()
+	if _, ok := timings["summary"]; !ok {
+		t.Errorf("no timing recorded for the summary pre-pass: %v", timings)
+	}
+	for _, a := range as {
+		if _, ok := timings[a.Name()]; !ok {
+			t.Errorf("no timing recorded for analyzer %s", a.Name())
+		}
+	}
+}
+
+// BenchmarkLintRepo measures the full-module lint cold (no cache, fresh
+// module load each iteration) and warm (persisted cache, fresh module
+// load each iteration — the `make lint` steady state).
+func BenchmarkLintRepo(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := LoadModule(root)
+			if err != nil {
+				b.Fatal(err)
+			}
+			as, err := DefaultAnalyzers(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := &Runner{Module: m, Analyzers: as}
+			if _, err := r.Lint("./..."); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		scratch := b.TempDir()
+		prime := func() *Cache {
+			c := OpenCache(scratch)
+			m, err := LoadModule(root)
+			if err != nil {
+				b.Fatal(err)
+			}
+			as, err := DefaultAnalyzers(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := &Runner{Module: m, Analyzers: as, Cache: c}
+			if _, err := r.Lint("./..."); err != nil {
+				b.Fatal(err)
+			}
+			if err := c.Save(); err != nil {
+				b.Fatal(err)
+			}
+			return c
+		}
+		prime()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			prime()
+		}
+	})
+}

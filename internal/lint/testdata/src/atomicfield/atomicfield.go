@@ -1,0 +1,48 @@
+// Package atomicfield is a lint fixture for the mixed-access analyzer:
+// a field touched via sync/atomic in one method and plainly in others,
+// an untouched sibling field that must stay silent, and a suppressed
+// pre-publication write.
+package atomicfield
+
+import "sync/atomic"
+
+// Counter mixes an atomically-maintained field (hits) with a plain one
+// (misses, guarded elsewhere, never touched atomically).
+type Counter struct {
+	hits   int64
+	misses int64
+}
+
+// Inc establishes hits as an atomic field.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Load is the correct read path.
+func (c *Counter) Load() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// Racy reads the atomic field plainly.
+func (c *Counter) Racy() int64 {
+	return c.hits // want "plain access to Counter.hits"
+}
+
+// Reset writes the atomic field plainly.
+func (c *Counter) Reset() {
+	c.hits = 0 // want "plain access to Counter.hits"
+}
+
+// Misses is fine: the misses field is never accessed atomically.
+func (c *Counter) Misses() int64 {
+	return c.misses
+}
+
+// New initializes before publication; no other goroutine can see the
+// write, and the suppression records that happens-before argument.
+func New() *Counter {
+	c := &Counter{}
+	//lint:allow atomicfield pre-publication write: the constructor result has not escaped yet
+	c.hits = 0
+	return c
+}

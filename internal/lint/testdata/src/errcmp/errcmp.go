@@ -1,0 +1,81 @@
+// Package errcmp is a lint fixture for the error-matching analyzer:
+// identity comparisons against module-local and stdlib sentinels,
+// switch-over-error, concrete type assertions, the errors.Is/As and
+// nil-check shapes that must stay silent, and a suppressed case.
+package errcmp
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrStopped is a package-level sentinel.
+var ErrStopped = errors.New("errcmp fixture: stopped")
+
+// statusError is a concrete error carrying data.
+type statusError struct{ code int }
+
+func (e *statusError) Error() string { return "status" }
+
+// CmpLocal compares against the local sentinel by identity.
+func CmpLocal(err error) bool {
+	return err == ErrStopped // want "error compared with == against sentinel ErrStopped"
+}
+
+// CmpStdlib compares against a stdlib sentinel by identity.
+func CmpStdlib(err error) bool {
+	return err != io.EOF // want "error compared with != against sentinel io.EOF"
+}
+
+// NilCheck is identity against nil — always fine.
+func NilCheck(err error) bool {
+	return err == nil
+}
+
+// UsesIs is the correct sentinel match.
+func UsesIs(err error) bool {
+	return errors.Is(err, ErrStopped)
+}
+
+// Switch matches sentinels by identity through a switch tag.
+func Switch(err error) string {
+	switch err {
+	case ErrStopped: // want "switch over an error value matches sentinel ErrStopped by identity"
+		return "stopped"
+	case nil:
+		return ""
+	}
+	return "other"
+}
+
+// Assert asserts an error to a concrete type.
+func Assert(err error) int {
+	if se, ok := err.(*statusError); ok { // want "use errors.As so wrapped errors still match"
+		return se.code
+	}
+	return 0
+}
+
+// UsesAs is the correct typed-error match.
+func UsesAs(err error) int {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code
+	}
+	return 0
+}
+
+// AssertInterface probes a capability interface — allowed.
+func AssertInterface(err error) bool {
+	type timeouter interface{ Timeout() bool }
+	if t, ok := err.(timeouter); ok {
+		return t.Timeout()
+	}
+	return false
+}
+
+// Suppressed documents why the identity comparison is intentional.
+func Suppressed(err error) bool {
+	//lint:allow errcmp fixture: the identity comparison is the case under test
+	return err == ErrStopped
+}

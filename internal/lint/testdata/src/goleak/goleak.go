@@ -1,16 +1,26 @@
 // Package goleak is a lint fixture for the goroutine-join analyzer:
-// opaque and unjoined launches, each accepted completion signal, and a
+// opaque and unjoined launches, method-value goroutines resolved
+// through the package summaries, each accepted completion signal, and a
 // suppressed case.
 package goleak
 
-import "sync"
+import (
+	"os"
+	"sync"
+)
 
 func work() {}
 
-// Opaque launches a goroutine whose body is not visible at the launch
-// site.
+// Unsignaled is a named same-package function with no completion
+// signal: launching it by name is resolvable — and reportable.
+func Unsignaled() {
+	go work() // want "goroutine work has no visible completion signal"
+}
+
+// Opaque launches a goroutine whose body really is out of sight: a
+// function from another package.
 func Opaque() {
-	go work() // want "not visible here"
+	go os.Exit(0) // want "not visible here"
 }
 
 // Unjoined has no completion signal at all.
@@ -18,6 +28,32 @@ func Unjoined() {
 	go func() { // want "no visible completion signal"
 		work()
 	}()
+}
+
+// server models the mux dispatch idiom: a per-request method goroutine
+// that joins through the WaitGroup it is handed.
+type server struct {
+	wg sync.WaitGroup
+}
+
+// serveRequest carries its own completion signal, so launching it as a
+// method goroutine is fine.
+func (s *server) serveRequest(req int) {
+	defer s.wg.Done()
+	_ = req
+}
+
+// leakyRequest has no signal; the launch site is charged.
+func (s *server) leakyRequest(req int) {
+	_ = req
+}
+
+// Dispatch launches method-value goroutines; the analyzer resolves the
+// named method bodies through the package summaries.
+func (s *server) Dispatch() {
+	s.wg.Add(1)
+	go s.serveRequest(1)
+	go s.leakyRequest(2) // want "goroutine .*leakyRequest has no visible completion signal"
 }
 
 // WaitGrouped signals through wg.Done.

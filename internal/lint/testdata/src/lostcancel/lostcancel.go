@@ -1,0 +1,83 @@
+// Package lostcancel is a lint fixture for the cancel-func analyzer: a
+// discarded cancel, a cancel passed only to a callee that ignores it
+// (the summary-propagation case), every accepted use shape, and a
+// suppressed case.
+package lostcancel
+
+import (
+	"context"
+	"time"
+)
+
+// Discarded throws the cancel away at the assignment.
+func Discarded(ctx context.Context) context.Context {
+	c, _ := context.WithTimeout(ctx, time.Second) // want "cancel function returned by context.WithTimeout is discarded"
+	return c
+}
+
+// ignore provably does nothing with its parameter; passing a cancel
+// here does not count as using it.
+func ignore(f func()) {
+	_ = len("noop")
+}
+
+// PassedToIgnorer hands the cancel to a same-package callee whose
+// summary shows the parameter is never invoked and never escapes.
+func PassedToIgnorer(ctx context.Context) context.Context {
+	c, cancel := context.WithCancel(ctx) // want "never called or passed on"
+	ignore(cancel)
+	return c
+}
+
+// Deferred is the canonical correct shape.
+func Deferred(ctx context.Context) error {
+	c, cancel := context.WithDeadline(ctx, time.Now().Add(time.Second))
+	defer cancel()
+	<-c.Done()
+	return c.Err()
+}
+
+// Returned hands the cancel to the caller.
+func Returned(ctx context.Context) (context.Context, context.CancelFunc) {
+	c, cancel := context.WithCancel(ctx)
+	return c, cancel
+}
+
+// invoke calls its parameter; the summary proves it.
+func invoke(f func()) { f() }
+
+// HandedToCaller passes the cancel to a same-package callee that
+// invokes it.
+func HandedToCaller(ctx context.Context) context.Context {
+	c, cancel := context.WithCancel(ctx)
+	invoke(cancel)
+	return c
+}
+
+// HandedToUnknown passes the cancel outside the package; an invisible
+// callee is conservatively assumed to use it.
+func HandedToUnknown(ctx context.Context) context.Context {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	time.AfterFunc(time.Second, cancel)
+	return c
+}
+
+// session owns its context's lifetime.
+type session struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Stored parks the cancel in the owner struct.
+func Stored(ctx context.Context) *session {
+	c, cancel := context.WithCancel(ctx)
+	return &session{ctx: c, cancel: cancel}
+}
+
+// Suppressed documents why the cancel is deliberately dropped.
+func Suppressed(ctx context.Context) context.Context {
+	//lint:allow lostcancel fixture: the lost cancel is the case under test
+	c, cancel := context.WithCancel(ctx)
+	ignore(cancel)
+	return c
+}

@@ -96,6 +96,7 @@ package transport
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -362,7 +363,7 @@ func readRequest(r io.Reader) (wireRequest, error) {
 	var req wireRequest
 	var buf [muxReqFrameBytes]byte
 	if _, err := io.ReadFull(r, buf[:reqFrameBytes]); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return req, io.EOF
 		}
 		return req, fmt.Errorf("transport: reading request: %w", err)
@@ -373,7 +374,7 @@ func readRequest(r io.Reader) (wireRequest, error) {
 		req.Arg = binary.BigEndian.Uint32(buf[5:])
 	case tracedMagic:
 		if _, err := io.ReadFull(r, buf[reqFrameBytes:tracedReqFrameBytes]); err != nil {
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				err = io.ErrUnexpectedEOF
 			}
 			return req, fmt.Errorf("transport: reading trace context: %w", err)
@@ -385,7 +386,7 @@ func readRequest(r io.Reader) (wireRequest, error) {
 		req.TC.Attempt = buf[25]
 	case muxMagic:
 		if _, err := io.ReadFull(r, buf[reqFrameBytes:muxReqFrameBytes]); err != nil {
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				err = io.ErrUnexpectedEOF
 			}
 			return req, fmt.Errorf("transport: reading mux frame: %w", err)
