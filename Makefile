@@ -17,11 +17,17 @@ GO ?= go
 # the full race sweep repeats them among everything else. The mux
 # interop pair and the admission-under-load test then pin the fleet
 # serving contract (old↔new framing both ways, typed shedding under
-# concurrency) by name before the sweep.
+# concurrency) by name before the sweep. The int8 block pins the
+# quantized path: kernel↔reference parity, cross-worker bit
+# determinism under race, and the calibration quality gate actually
+# forcing a float32 fallback.
 verify: build vet lint
 	$(GO) test -run 'TestFixtures/(lockorder|lostcancel|atomicfield|errcmp|timerleak)' -v ./internal/lint/
 	$(GO) test -race -run 'TestRunnerDeterministic|TestRunnerCache' -v ./internal/lint/
 	$(GO) test -run 'TestPrepareGoldenEquivalence' -v ./internal/core/
+	$(GO) test -run 'TestGemmInt8MatchesRef|TestConv2DInferInt8MatchesRef|TestConv2DInferInt8Deterministic' -v ./internal/tensor/
+	$(GO) test -race -run 'TestEnhanceInt8DeterministicAcrossWorkers' -v ./internal/edsr/
+	$(GO) test -run 'TestQuantQualityGateForcesFallback|TestQuantPersistRoundTrip' -v ./internal/core/
 	$(GO) test -run 'TestWireTraceCompat' -v ./internal/transport/
 	$(GO) test -run 'TestMuxInteropNewClientOldServer|TestMuxInteropOldClientNewServer' -v ./internal/transport/
 	$(GO) test -race -run 'TestAdmissionConcurrentLoad|TestRetryPolicyHonorsShedHint' -v ./internal/transport/
@@ -53,17 +59,20 @@ test:
 # stats. Also emits BENCH_kernels.json (machine-readable ns/op, B/op,
 # allocs/op, FPS rows) via dcsr-bench so runs can be diffed across
 # checkouts on one machine, BENCH_cachebudget.json (model-cache
-# hit/eviction/bandwidth accounting across byte budgets), and
+# hit/eviction/bandwidth accounting across byte budgets),
 # BENCH_swarm.json (the fleet-load harness: 1000 concurrent clients vs
 # admission control — p50/p99 per op, shed rate, Jain fairness; the
-# capacity-planning numbers docs/SERVING.md works from).
+# capacity-planning numbers docs/SERVING.md works from), and
+# BENCH_quant.json (int8 vs float32 Enhance speedup plus the
+# calibration quality-gate sweep over a prepared clip).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkGEMM|BenchmarkConv2DInfer|BenchmarkIm2col' -benchmem ./internal/tensor/
-	$(GO) test -run '^$$' -bench 'BenchmarkEnhance(270|540)p|BenchmarkForwardInference' -benchmem ./internal/edsr/
+	$(GO) test -run '^$$' -bench 'BenchmarkEnhance(Int8)?(270|540)p|BenchmarkForwardInference' -benchmem ./internal/edsr/
 	$(GO) test -run '^$$' -bench 'BenchmarkFig8' -benchmem .
 	$(GO) run ./cmd/dcsr-bench -only kernels -json BENCH_kernels.json
 	$(GO) run ./cmd/dcsr-bench -fast -only cachebudget -json BENCH_cachebudget.json
 	$(GO) run ./cmd/dcsr-bench -fast -only swarm -json BENCH_swarm.json
+	$(GO) run ./cmd/dcsr-bench -fast -only quant -json BENCH_quant.json
 
 # Full evaluation-scale benchmark suite (minutes), including the 1080p
 # Enhance benchmark.

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"runtime"
+	"strings"
+)
+
+// benchHeader identifies the machine and runtime a BENCH_*.json report
+// was produced on. Perf numbers are only comparable between reports
+// whose headers match, so every report embeds one.
+type benchHeader struct {
+	CPUModel   string `json:"cpu_model,omitempty"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+func newBenchHeader() benchHeader {
+	return benchHeader{
+		CPUModel:   cpuModel(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
+// cpuModel returns the first "model name" entry of /proc/cpuinfo, or ""
+// on platforms without one (the field is omitempty).
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		key, val, ok := strings.Cut(line, ":")
+		if ok && strings.TrimSpace(key) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}

@@ -34,14 +34,18 @@ import (
 	"dcsr/internal/video"
 )
 
-// jsonReport is the -json output document.
+// jsonReport is the -json output document. Header pins the machine and
+// runtime the numbers were measured on: perf rows are only comparable
+// between reports with matching headers.
 type jsonReport struct {
+	Header      benchHeader                    `json:"header"`
 	Fast        bool                           `json:"fast"`
 	Only        string                         `json:"only,omitempty"`
 	Experiments []jsonExperiment               `json:"experiments"`
 	Kernels     []kernelResult                 `json:"kernels,omitempty"`
 	CacheBudget *experiments.CacheBudgetResult `json:"cachebudget,omitempty"`
 	Swarm       *experiments.SwarmResult       `json:"swarm,omitempty"`
+	Quant       *quantResult                   `json:"quant,omitempty"`
 	Metrics     obs.Snapshot                   `json:"metrics"`
 }
 
@@ -75,6 +79,7 @@ func main() {
 	var kernelRows []kernelResult
 	var cacheBudgetRes *experiments.CacheBudgetResult
 	var swarmRes *experiments.SwarmResult
+	var quantRes *quantResult
 
 	var fig9 *experiments.Fig9Result
 	getFig9 := func() *experiments.Fig9Result {
@@ -193,6 +198,25 @@ func main() {
 			fmt.Printf("served %d requests in %.2fs (shed %d, %d client retries, %d reconnects, peak inflight %d)\n\n",
 				r.Requests, r.ElapsedSec, r.Sheds, r.Retries, r.Reconnects, r.InflightPeak)
 		}},
+		{"quant", "int8 vs float32 Enhance speed + calibration quality gate", func(c experiments.EvalConfig) {
+			r, err := runQuantBench()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcsr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			t, gate, err := experiments.ExperimentQuantGate(c)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcsr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			r.Gate = gate
+			quantRes = r
+			printQuantTable(r)
+			fmt.Println(t)
+			fmt.Printf("gate: %d/%d clusters on int8 (%.0f%% fallback), mean delta %.2f dB; playback served %d/%d I frames on int8\n\n",
+				gate.Models-gate.Fallbacks, gate.Models, gate.FallbackRate*100,
+				gate.PSNRDelta, gate.EnhancedInt8, gate.Enhanced)
+		}},
 		{"ablations", "VAE features / global k-means / split / propagation ablations", func(c experiments.EvalConfig) {
 			t1, _ := experiments.AblationFeatures(c)
 			fmt.Println(t1)
@@ -227,7 +251,7 @@ func main() {
 		os.Stdout = os.Stderr
 		defer func() { os.Stdout = reportW }()
 	}
-	report := jsonReport{Fast: *fast, Only: *only}
+	report := jsonReport{Header: newBenchHeader(), Fast: *fast, Only: *only}
 	for _, e := range exps {
 		if len(selected) > 0 && !selected[e.name] {
 			continue
@@ -245,6 +269,7 @@ func main() {
 		report.Kernels = kernelRows
 		report.CacheBudget = cacheBudgetRes
 		report.Swarm = swarmRes
+		report.Quant = quantRes
 		report.Metrics = cfg.Obs.Metrics.Snapshot()
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

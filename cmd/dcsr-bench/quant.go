@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"dcsr/internal/edsr"
+	"dcsr/internal/experiments"
+	"dcsr/internal/video"
+)
+
+// quantResult is the BENCH_quant.json payload: the 270p whole-frame
+// Enhance cost on both numeric paths of the same dcSR-1 model (the
+// kernel speedup the int8 path exists for), plus the quality-gate
+// outcomes of a real pipeline run (experiments.ExperimentQuantGate).
+type quantResult struct {
+	Float32 kernelResult                  `json:"float32"`
+	Int8    kernelResult                  `json:"int8"`
+	Speedup float64                       `json:"speedup"`
+	Gate    *experiments.QuantGateResult  `json:"gate,omitempty"`
+}
+
+// runQuantBench measures float32 vs int8 Enhance at 270p on one dcSR-1
+// model. The model is calibrated on the benchmark frame itself —
+// exactly the serving situation, where scales come from the cluster's
+// own frames.
+func runQuantBench() (*quantResult, error) {
+	model, err := edsr.New(edsr.ConfigDCSR1, 1)
+	if err != nil {
+		return nil, err
+	}
+	f := genKernelFrame(480, 270)
+	if err := model.Calibrate([]*video.RGB{f}); err != nil {
+		return nil, err
+	}
+	model.Enhance(f) // warm the reusable buffers on both paths
+	model.EnhanceInt8(f)
+	r := &quantResult{}
+	r.Float32 = toResult("enhance_270p_f32", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			model.Enhance(f)
+		}
+	}), true)
+	r.Int8 = toResult("enhance_270p_int8", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			model.EnhanceInt8(f)
+		}
+	}), true)
+	if r.Int8.NsPerOp > 0 {
+		r.Speedup = float64(r.Float32.NsPerOp) / float64(r.Int8.NsPerOp)
+	}
+	return r, nil
+}
+
+func printQuantTable(r *quantResult) {
+	printKernelTable([]kernelResult{r.Float32, r.Int8})
+	fmt.Printf("int8 speedup at 270p: %.2fx\n\n", r.Speedup)
+}

@@ -54,6 +54,7 @@ func main() {
 	h := flag.Int("h", 48, "frame height used at prepare time")
 	seed := flag.Int64("seed", 7, "seed used at prepare time")
 	noCache := flag.Bool("no-cache", false, "disable micro-model caching (ablation)")
+	noInt8 := flag.Bool("no-int8", false, "force float32 enhancement even for models the manifest advertises as int8-calibrated (precision ablation)")
 	cacheBudget := flag.Int64("cache-budget", 0, "micro-model cache budget in bytes (0 = unbounded; past it the LRU model is evicted and lazily re-downloaded)")
 	faultDrop := flag.Float64("fault-drop", 0, "with -addr: probability of dropping a response (fault injection)")
 	faultDelay := flag.Duration("fault-delay", 0, "with -addr: inject this extra latency into every response")
@@ -71,6 +72,7 @@ func main() {
 			faultDrop: *faultDrop, faultDelay: *faultDelay, faultSeed: *faultSeed,
 			retries: *retries, timeout: *timeout, cacheBudget: *cacheBudget,
 			trace: *trace, video: *videoDigest, listVideos: *listVideos,
+			noInt8: *noInt8,
 		})
 		return
 	}
@@ -93,6 +95,7 @@ func main() {
 
 	player := core.NewPlayer(prep)
 	player.UseCache = !*noCache
+	player.Int8 = !*noInt8
 	player.CacheBudget = *cacheBudget
 	var o *obs.Obs
 	if *trace {
@@ -105,8 +108,9 @@ func main() {
 		os.Exit(1)
 	}
 	printTraces(o)
-	fmt.Printf("decoded %d frames (%d I, %d P, %d B), %d I frames enhanced\n",
-		res.Decode.Frames(), res.Decode.IFrames, res.Decode.PFrames, res.Decode.BFrames, res.Decode.Enhanced)
+	fmt.Printf("decoded %d frames (%d I, %d P, %d B), %d I frames enhanced (%d on the int8 path)\n",
+		res.Decode.Frames(), res.Decode.IFrames, res.Decode.PFrames, res.Decode.BFrames,
+		res.Decode.Enhanced, res.Decode.EnhancedInt8)
 	fmt.Printf("downloaded: video %d B + models %d B = %d B (%d model downloads, %d cache hits)\n",
 		res.Session.VideoBytes, res.Session.ModelBytes, res.TotalBytes(),
 		res.Session.Downloads, res.Session.CacheHits)
@@ -171,6 +175,7 @@ type netOptions struct {
 	trace       bool
 	video       string
 	listVideos  bool
+	noInt8      bool
 }
 
 // printTraces renders every retained root span as indented JSON, with a
@@ -228,6 +233,7 @@ func playFromNetwork(opt netOptions) {
 	client := transport.NewClient(conn)
 	client.Redial = dial
 	client.CacheBudget = opt.cacheBudget
+	client.NoInt8 = opt.noInt8
 	client.Retry = transport.RetryPolicy{
 		MaxRetries: opt.retries,
 		Timeout:    opt.timeout,
@@ -278,7 +284,8 @@ func playFromNetwork(opt netOptions) {
 	fmt.Printf("streamed %d frames over %d segments from %s\n", len(frames), stats.Segments, opt.addr)
 	fmt.Printf("downloaded: video %d B + models %d B (%d model downloads, %d cache hits)\n",
 		stats.VideoBytes, stats.ModelBytes, stats.ModelDownloads, stats.CacheHits)
-	fmt.Printf("%d I frames enhanced in-loop\n", stats.Enhanced)
+	fmt.Printf("%d I frames enhanced in-loop (%d on the int8 path)\n",
+		stats.Enhanced, stats.EnhancedInt8)
 	if stats.Evictions > 0 {
 		fmt.Printf("cache budget %d B: %d evictions, %d B resident at end\n",
 			opt.cacheBudget, stats.Evictions, stats.CacheBytes)

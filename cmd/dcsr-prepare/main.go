@@ -30,6 +30,8 @@ func main() {
 	filters := flag.Int("filters", 8, "micro-model filters (n_f)")
 	resblocks := flag.Int("resblocks", 2, "micro-model ResBlocks (n_RB)")
 	search := flag.Bool("search", false, "run the Appendix A.1 minimum-working-model search instead of -filters/-resblocks")
+	int8Flag := flag.Bool("int8", false, "calibrate each cluster model for int8 inference (quantize_int8 stage); clusters failing the quality gate stay float32")
+	int8Bound := flag.Float64("int8-psnr-bound", 0, "max PSNR drop (dB) the int8 quality gate tolerates; 0 uses the default 0.5")
 	flag.Parse()
 
 	if *out == "" {
@@ -65,6 +67,9 @@ func main() {
 	if !*search {
 		cfg.MicroConfig = edsr.Config{Filters: *filters, ResBlocks: *resblocks}
 	}
+	if *int8Flag {
+		cfg.Quant = core.QuantConfig{Enabled: true, MaxPSNRDrop: *int8Bound}
+	}
 
 	prep, err := core.Prepare(clip.YUVFrames(), clip.FPS, cfg)
 	if err != nil {
@@ -76,6 +81,14 @@ func main() {
 		prep.Manifest.TotalVideoBytes(), prep.Manifest.TotalModelBytes())
 	for label, sm := range prep.Models {
 		fmt.Printf("  model %d: %d bytes, final train MSE %.1f\n", label, len(sm.Bytes), sm.Train.FinalLoss)
+		if sm.Quant != nil {
+			verdict := "int8"
+			if !sm.Quant.Int8OK {
+				verdict = "float32 fallback"
+			}
+			fmt.Printf("    int8 gate: f32 %.2f dB vs int8 %.2f dB -> %s\n",
+				sm.Quant.PSNRFloat32, sm.Quant.PSNRInt8, verdict)
+		}
 	}
 	if err := prep.Save(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "dcsr-prepare: saving: %v\n", err)

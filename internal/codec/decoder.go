@@ -27,6 +27,45 @@ func (fn EnhancerFunc) EnhanceIFrame(display int, f *video.YUV) *video.YUV {
 	return fn(display, f)
 }
 
+// Precision identifies the numeric path an enhancer used for a frame.
+type Precision int
+
+// Enhancer numeric paths.
+const (
+	// PrecisionFloat32 is the full-precision kernel path (the default
+	// assumed for plain FrameEnhancers).
+	PrecisionFloat32 Precision = iota
+	// PrecisionInt8 is the quantized kernel path; frames enhanced on it
+	// are counted separately (DecodeStats.EnhancedInt8,
+	// codec_enhance_int8_window_seconds) so an operator can see which
+	// path is actually serving.
+	PrecisionInt8
+)
+
+// PrecisionEnhancer is an optional FrameEnhancer extension for hooks
+// that choose between numeric paths per frame (e.g. int8 for clusters
+// that passed the server's calibration quality gate, float32 for the
+// rest). A Decoder whose Enhancer implements it uses the extended
+// method and attributes each enhancement to the reported precision.
+type PrecisionEnhancer interface {
+	FrameEnhancer
+	EnhanceIFramePrecision(display int, f *video.YUV) (*video.YUV, Precision)
+}
+
+// PrecisionEnhancerFunc adapts a function to PrecisionEnhancer.
+type PrecisionEnhancerFunc func(display int, f *video.YUV) (*video.YUV, Precision)
+
+// EnhanceIFrame calls the function, dropping the precision.
+func (fn PrecisionEnhancerFunc) EnhanceIFrame(display int, f *video.YUV) *video.YUV {
+	out, _ := fn(display, f)
+	return out
+}
+
+// EnhanceIFramePrecision calls the function.
+func (fn PrecisionEnhancerFunc) EnhanceIFramePrecision(display int, f *video.YUV) (*video.YUV, Precision) {
+	return fn(display, f)
+}
+
 // Propagation selects how I-frame enhancement reaches dependent frames.
 type Propagation int
 
@@ -120,6 +159,7 @@ func fetchDeltaHP(src []int16, pw, ph, x, y int, m mv, bw, bh int, dst []int32) 
 type DecodeStats struct {
 	IFrames, PFrames, BFrames int
 	Enhanced                  int // I frames actually enhanced (hook may decline by returning its input)
+	EnhancedInt8              int // subset of Enhanced served on the int8 path (PrecisionEnhancer hooks)
 	Bits                      int
 }
 
@@ -139,7 +179,9 @@ type Decoder struct {
 	// Obs, when set, records codec_frames_decoded_total,
 	// codec_iframes_enhanced_total and the I-frame-enhance latency as
 	// both the lifetime histogram codec_enhance_seconds and its
-	// rolling-window twin codec_enhance_window_seconds.
+	// rolling-window twin codec_enhance_window_seconds; enhancements a
+	// PrecisionEnhancer attributes to the int8 path additionally feed
+	// codec_enhance_int8_window_seconds.
 	Obs *obs.Obs
 	// Now supplies the clock for the enhance-latency histogram; nil
 	// means time.Now. Tests inject a fake clock to make the recorded
@@ -156,8 +198,11 @@ func (d *Decoder) Decode(s *Stream) ([]*video.YUV, error) {
 	// Obs is unset, so the per-frame path stays branch-cheap.
 	enhHist := d.Obs.Histogram("codec_enhance_seconds")
 	enhWHist := d.Obs.WindowedHistogram("codec_enhance_window_seconds")
+	enhI8WHist := d.Obs.WindowedHistogram("codec_enhance_int8_window_seconds")
 	enhCtr := d.Obs.Counter("codec_iframes_enhanced_total")
 	frameCtr := d.Obs.Counter("codec_frames_decoded_total")
+	// One type assertion per decode, not per frame.
+	pe, _ := d.Enhancer.(PrecisionEnhancer)
 	now := d.Now
 	if now == nil {
 		now = time.Now
@@ -186,7 +231,12 @@ func (d *Decoder) Decode(s *Stream) ([]*video.YUV, error) {
 				if enhHist != nil {
 					t0 = now()
 				}
-				enh = d.Enhancer.EnhanceIFrame(ef.Display, f)
+				prec := PrecisionFloat32
+				if pe != nil {
+					enh, prec = pe.EnhanceIFramePrecision(ef.Display, f)
+				} else {
+					enh = d.Enhancer.EnhanceIFrame(ef.Display, f)
+				}
 				if enh.W != f.W || enh.H != f.H {
 					return nil, fmt.Errorf("codec: enhancer changed frame dimensions %dx%d -> %dx%d", f.W, f.H, enh.W, enh.H)
 				}
@@ -198,9 +248,15 @@ func (d *Decoder) Decode(s *Stream) ([]*video.YUV, error) {
 						elapsed := now().Sub(t0).Seconds()
 						enhHist.Observe(elapsed)
 						enhWHist.Observe(elapsed)
+						if prec == PrecisionInt8 {
+							enhI8WHist.Observe(elapsed)
+						}
 					}
 					enhCtr.Inc()
 					d.Stats.Enhanced++
+					if prec == PrecisionInt8 {
+						d.Stats.EnhancedInt8++
+					}
 				}
 			}
 			pair := newRefPair(f, enh)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"dcsr/internal/codec"
 	"dcsr/internal/edsr"
@@ -29,6 +30,20 @@ type metaFile struct {
 	MicroConfig edsr.Config        `json:"micro_config"`
 	BigModel    edsr.Config        `json:"big_model"`
 	TrainFLOPs  float64            `json:"train_flops"`
+	// Quant holds the per-cluster int8 calibration outcomes (absent for
+	// artifacts prepared without the quantize_int8 stage). The stored
+	// activation scales re-arm each loaded model via CalibrateFromScales,
+	// so a loaded artifact serves int8 bit-identically to the preparing
+	// process without redoing calibration.
+	Quant []quantMeta `json:"quant,omitempty"`
+}
+
+type quantMeta struct {
+	Label       int       `json:"label"`
+	Int8OK      bool      `json:"int8_ok"`
+	PSNRFloat32 float64   `json:"psnr_float32"`
+	PSNRInt8    float64   `json:"psnr_int8"`
+	ActScales   []float32 `json:"act_scales,omitempty"`
 }
 
 // Save writes the prepared stream, manifest metadata and micro models to
@@ -40,6 +55,23 @@ func (p *Prepared) Save(dir string) error {
 	meta := metaFile{
 		FPS: p.FPS, Segments: p.Segments, Assign: p.Assign, K: p.K,
 		MicroConfig: p.MicroConfig, BigModel: p.BigModel, TrainFLOPs: p.TrainFLOPs,
+	}
+	// Sorted by label so meta.json is deterministic across runs.
+	labels := make([]int, 0, len(p.Models))
+	for label := range p.Models {
+		labels = append(labels, label)
+	}
+	sort.Ints(labels)
+	for _, label := range labels {
+		sm := p.Models[label]
+		if sm.Quant == nil {
+			continue
+		}
+		meta.Quant = append(meta.Quant, quantMeta{
+			Label: label, Int8OK: sm.Quant.Int8OK,
+			PSNRFloat32: sm.Quant.PSNRFloat32, PSNRInt8: sm.Quant.PSNRInt8,
+			ActScales: sm.Quant.ActScales,
+		})
 	}
 	mj, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
@@ -106,6 +138,21 @@ func Load(dir string) (*Prepared, error) {
 			return nil, fmt.Errorf("core: loading model %d: %w", label, err)
 		}
 		p.Models[label] = &SegmentModel{Label: label, Config: meta.MicroConfig, Model: m, Bytes: data}
+	}
+	for _, qm := range meta.Quant {
+		sm, ok := p.Models[qm.Label]
+		if !ok {
+			return nil, fmt.Errorf("core: quant metadata references unknown model %d", qm.Label)
+		}
+		sm.Quant = &QuantResult{
+			Int8OK: qm.Int8OK, PSNRFloat32: qm.PSNRFloat32,
+			PSNRInt8: qm.PSNRInt8, ActScales: qm.ActScales,
+		}
+		if qm.Int8OK {
+			if err := sm.Model.CalibrateFromScales(qm.ActScales); err != nil {
+				return nil, fmt.Errorf("core: re-arming int8 model %d: %w", qm.Label, err)
+			}
+		}
 	}
 	p.Manifest = buildManifest(p)
 	if err := p.Manifest.Validate(); err != nil {

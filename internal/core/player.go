@@ -58,6 +58,12 @@ type Player struct {
 	// Enhance toggles SR entirely (false plays the raw low-quality video,
 	// the "LOW" series of paper Fig 9).
 	Enhance bool
+	// Int8 lets the player use the quantized kernel path for models the
+	// manifest advertises as int8-calibrated (ModelInfo.Int8); models
+	// that failed the server's quality gate — or predate it — always run
+	// float32. Default true; false forces float32 everywhere (the
+	// precision ablation).
+	Int8 bool
 	// Propagation selects how enhancement reaches P/B frames; the default
 	// is codec.PropagateDelta (drift-free). codec.PropagateReplace is the
 	// paper-literal DPB replacement, kept for the propagation ablation.
@@ -76,7 +82,7 @@ type Player struct {
 
 // NewPlayer builds a player over a prepared stream.
 func NewPlayer(p *Prepared) *Player {
-	return &Player{prepared: p, UseCache: true, Enhance: true, Propagation: codec.PropagateDelta}
+	return &Player{prepared: p, UseCache: true, Enhance: true, Int8: true, Propagation: codec.PropagateDelta}
 }
 
 // segmentOf returns the segment index containing display frame i.
@@ -141,17 +147,23 @@ func (pl *Player) Play() (*PlayResult, error) {
 	decSpan := root.Child("decode")
 	dec := codec.Decoder{Mode: pl.Propagation, Obs: o}
 	if pl.Enhance {
-		dec.Enhancer = codec.EnhancerFunc(func(display int, f *video.YUV) *video.YUV {
+		dec.Enhancer = codec.PrecisionEnhancerFunc(func(display int, f *video.YUV) (*video.YUV, codec.Precision) {
 			seg := pl.segmentOf(display)
 			if degraded[seg] {
-				return f
+				return f, codec.PrecisionFloat32
 			}
 			label := p.Manifest.Segments[seg].ModelLabel
 			sm, ok := p.Models[label]
 			if !ok {
-				return f
+				return f, codec.PrecisionFloat32
 			}
-			return sm.Model.EnhanceYUV(f)
+			// The manifest flag is the server's quality-gate decision;
+			// Int8Ready guards against a model whose activation scales
+			// were not re-armed after deserialization.
+			if pl.Int8 && p.Manifest.Models[label].Int8 && sm.Model.Int8Ready() {
+				return sm.Model.EnhanceYUVInt8(f), codec.PrecisionInt8
+			}
+			return sm.Model.EnhanceYUV(f), codec.PrecisionFloat32
 		})
 	}
 	frames, err := dec.Decode(p.Stream)

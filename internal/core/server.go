@@ -62,6 +62,10 @@ type ServerConfig struct {
 	// Train configures final micro-model training (paper §3.1.3).
 	Train edsr.TrainOptions
 
+	// Quant configures the optional int8 calibration stage with its
+	// per-cluster quality gate; the zero value disables it.
+	Quant QuantConfig
+
 	Seed int64
 
 	// CheckpointDir, when non-empty, persists each completed pipeline
@@ -89,6 +93,7 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.MinPSNRGap == 0 {
 		c.MinPSNRGap = 1.0
 	}
+	c.Quant = c.Quant.withDefaults()
 	return c
 }
 
@@ -99,6 +104,9 @@ type SegmentModel struct {
 	Model  *edsr.Model
 	Bytes  []byte
 	Train  *edsr.TrainResult
+	// Quant is the int8 calibration outcome; nil when the quantize_int8
+	// stage did not run for this model.
+	Quant *QuantResult
 }
 
 // Prepared is the output of the server pipeline: everything a client needs
@@ -202,7 +210,12 @@ func buildManifest(p *Prepared) *stream.Manifest {
 		})
 	}
 	for label, sm := range p.Models {
-		man.Models[label] = stream.ModelInfo{Label: label, Bytes: len(sm.Bytes)}
+		mi := stream.ModelInfo{Label: label, Bytes: len(sm.Bytes)}
+		if sm.Quant != nil && sm.Quant.Int8OK {
+			mi.Int8 = true
+			mi.ActScales = sm.Quant.ActScales
+		}
+		man.Models[label] = mi
 	}
 	return man
 }

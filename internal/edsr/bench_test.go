@@ -49,3 +49,27 @@ func BenchmarkForwardInference(b *testing.B) {
 		})
 	}
 }
+
+// benchEnhanceInt8 is benchEnhance on the quantized path: same model,
+// same frame, per-layer scales calibrated on that frame.
+func benchEnhanceInt8(b *testing.B, w, h int) {
+	m, err := New(ConfigDCSR1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clip := video.Generate(video.GenConfig{W: w, H: h, Seed: 3, NumScenes: 1, TotalCues: 1, MinFrames: 1, MaxFrames: 1})
+	f := clip.Frames()[0]
+	if err := m.Calibrate([]*video.RGB{f}); err != nil {
+		b.Fatal(err)
+	}
+	m.EnhanceInt8(f) // warm buffers so the loop measures steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.EnhanceInt8(f)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+func BenchmarkEnhanceInt8270p(b *testing.B) { benchEnhanceInt8(b, 480, 270) }
+func BenchmarkEnhanceInt8540p(b *testing.B) { benchEnhanceInt8(b, 960, 540) }

@@ -1,0 +1,135 @@
+package edsr
+
+import (
+	"fmt"
+
+	"dcsr/internal/nn"
+	"dcsr/internal/tensor"
+	"dcsr/internal/video"
+)
+
+// Int8 inference. A dcSR micro model serves exactly one cluster of one
+// video, so its activation distribution at serving time is the
+// distribution of the cluster's own training frames — calibrating the
+// per-layer activation scales on a handful of those frames is
+// representative by construction (the same data-centric argument that
+// lets a 4-block EDSR match a general model on its own cluster). The
+// quantized path swaps every convolution onto the int8 SWAR kernels and
+// keeps the structural glue — residual adds, pixel shuffle, the global
+// image residual — in float32, mirroring ForwardInference layer for
+// layer and buffer for buffer.
+
+// convs enumerates the model's convolutions in forward order. This is
+// the calibration/quantization unit: every conv owns one activation
+// scale (its input) and per-output-channel weight scales.
+func (m *Model) convs() []*nn.Conv2D {
+	cs := make([]*nn.Conv2D, 0, 2+2*len(m.body)+len(m.ups))
+	cs = append(cs, m.head)
+	for _, b := range m.body {
+		cs = append(cs, b.Conv1, b.Conv2)
+	}
+	cs = append(cs, m.bodyConv)
+	for _, u := range m.ups {
+		cs = append(cs, u.conv)
+	}
+	cs = append(cs, m.tail)
+	return cs
+}
+
+// Calibrate records per-layer activation ranges by running the float32
+// inference path over the given frames (typically a few of the
+// cluster's own training inputs), then builds every convolution's int8
+// state. Must be called after training; call again if weights change.
+func (m *Model) Calibrate(frames []*video.RGB) error {
+	if len(frames) == 0 {
+		return fmt.Errorf("edsr: Calibrate needs at least one frame")
+	}
+	cs := m.convs()
+	for _, c := range cs {
+		c.BeginCalibration()
+	}
+	for _, f := range frames {
+		m.in = toTensorInto(f, m.in)
+		m.ForwardInference(m.in)
+	}
+	for _, c := range cs {
+		c.EndCalibration()
+		c.QuantizeInt8()
+	}
+	return nil
+}
+
+// ActScales returns the calibrated activation ranges in forward conv
+// order, for persisting alongside the model so a later process can
+// re-arm the int8 path without calibration frames.
+func (m *Model) ActScales() []float32 {
+	cs := m.convs()
+	out := make([]float32, len(cs))
+	for i, c := range cs {
+		out[i] = c.ActMax()
+	}
+	return out
+}
+
+// CalibrateFromScales rebuilds the int8 state from previously recorded
+// ActScales output, bit-identical to the calibration run that produced
+// them (given identical weights).
+func (m *Model) CalibrateFromScales(scales []float32) error {
+	cs := m.convs()
+	if len(scales) != len(cs) {
+		return fmt.Errorf("edsr: got %d activation scales, model has %d convs", len(scales), len(cs))
+	}
+	for i, c := range cs {
+		c.SetActMax(scales[i])
+		c.QuantizeInt8()
+	}
+	return nil
+}
+
+// Int8Ready reports whether every convolution has quantized state.
+func (m *Model) Int8Ready() bool {
+	for _, c := range m.convs() {
+		if !c.Int8Ready() {
+			return false
+		}
+	}
+	return true
+}
+
+// ForwardInferenceInt8 is ForwardInference with every convolution on the
+// int8 kernel path. It shares the float32 path's layer-owned buffers
+// (the two must not be interleaved mid-pass) and allocates nothing in
+// steady state. Output is bit-deterministic across worker counts.
+func (m *Model) ForwardInferenceInt8(x *tensor.Tensor) *tensor.Tensor {
+	h := m.head.ForwardInferenceInt8(x)
+	b := h
+	for _, blk := range m.body {
+		b = blk.ForwardInferenceInt8(b)
+	}
+	b = m.bodyConv.ForwardInferenceInt8(b)
+	b.AddInPlace(h) // global skip (h is head's buffer, untouched since)
+	for _, u := range m.ups {
+		b = u.conv.ForwardInferenceInt8(b)
+		b = u.shuffle.ForwardInference(b)
+	}
+	out := m.tail.ForwardInferenceInt8(b)
+	if m.Cfg.Scale == 1 {
+		out.AddInPlace(x) // global image residual
+	} else {
+		m.upBuf = upsampleNearestInto(x, m.Cfg.Scale, m.upBuf)
+		out.AddInPlace(m.upBuf)
+	}
+	return out
+}
+
+// EnhanceInt8 is Enhance on the quantized path. The model must be
+// calibrated (Calibrate or CalibrateFromScales) first.
+func (m *Model) EnhanceInt8(low *video.RGB) *video.RGB {
+	m.in = toTensorInto(low, m.in)
+	return FromTensor(m.ForwardInferenceInt8(m.in))
+}
+
+// EnhanceYUVInt8 is EnhanceYUV on the quantized path.
+func (m *Model) EnhanceYUVInt8(f *video.YUV) *video.YUV {
+	return m.EnhanceInt8(f.ToRGB()).ToYUV()
+}

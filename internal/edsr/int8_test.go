@@ -1,0 +1,170 @@
+package edsr
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"dcsr/internal/quality"
+	"dcsr/internal/tensor"
+	"dcsr/internal/video"
+)
+
+// trainedModel returns a briefly trained dcSR-style model plus the
+// frame it was trained on (which doubles as the calibration input).
+func trainedModel(t testing.TB, seed int64) (*Model, *video.RGB) {
+	t.Helper()
+	m, err := New(Config{Filters: 8, ResBlocks: 2}, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := genFrame(t, 64, 48, seed)
+	if _, err := m.Train([]Pair{{Low: f, High: f}}, TrainOptions{Steps: 3, PatchSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	return m, f
+}
+
+// TestEnhanceInt8CloseToFloat32 checks the quantized path stays visually
+// equivalent to float32 on the calibration distribution — the per-layer
+// scales come from the same frames the model trained on, dcSR's serving
+// situation.
+func TestEnhanceInt8CloseToFloat32(t *testing.T) {
+	m, f := trainedModel(t, 11)
+	if m.Int8Ready() {
+		t.Fatal("Int8Ready before calibration")
+	}
+	if err := m.Calibrate([]*video.RGB{f}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Int8Ready() {
+		t.Fatal("Int8Ready false after Calibrate")
+	}
+	want := m.Enhance(f)
+	got := m.EnhanceInt8(f)
+	if psnr := quality.PSNR(got, want); psnr < 40 {
+		t.Fatalf("int8 vs float32 PSNR = %.1f dB, want >= 40", psnr)
+	}
+}
+
+// TestEnhanceInt8DeterministicAcrossWorkers pins bit-identical quantized
+// output across worker counts (run under -race by make verify): integer
+// accumulation is associative, and every float step is a fixed
+// per-element expression.
+func TestEnhanceInt8DeterministicAcrossWorkers(t *testing.T) {
+	m, f := trainedModel(t, 12)
+	if err := m.Calibrate([]*video.RGB{f}); err != nil {
+		t.Fatal(err)
+	}
+	var ref *video.RGB
+	for _, procs := range []int{1, 2, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		tensor.ShutdownPool()
+		got := m.EnhanceInt8(f)
+		runtime.GOMAXPROCS(prev)
+		tensor.ShutdownPool()
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for j := range got.Pix {
+			if got.Pix[j] != ref.Pix[j] {
+				t.Fatalf("procs=%d: pixel %d differs from single-worker output", procs, j)
+			}
+		}
+	}
+}
+
+// TestEnhanceInt8SteadyStateAllocs mirrors TestEnhanceSteadyStateAllocs
+// for the quantized path: zero allocations per ForwardInferenceInt8
+// after warmup, and EnhanceInt8 pays only for the returned frame.
+func TestEnhanceInt8SteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted under the race detector")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	tensor.ShutdownPool()
+	defer func() {
+		runtime.GOMAXPROCS(prev)
+		tensor.ShutdownPool()
+	}()
+	m, f := trainedModel(t, 13)
+	if err := m.Calibrate([]*video.RGB{f}); err != nil {
+		t.Fatal(err)
+	}
+	x := ToTensor(f)
+	m.ForwardInferenceInt8(x)
+	m.ForwardInferenceInt8(x)
+	if avg := testing.AllocsPerRun(10, func() { m.ForwardInferenceInt8(x) }); avg > 0 {
+		t.Errorf("ForwardInferenceInt8 allocates %.1f objects per frame, want 0", avg)
+	}
+	m.EnhanceInt8(f)
+	if avg := testing.AllocsPerRun(10, func() { m.EnhanceInt8(f) }); avg > 4 {
+		t.Errorf("EnhanceInt8 allocates %.1f objects per frame, want <= 4", avg)
+	}
+}
+
+// TestActScalesRoundTrip checks that scales persisted from one process
+// re-arm an identical model to bit-identical quantized output.
+func TestActScalesRoundTrip(t *testing.T) {
+	m1, f := trainedModel(t, 14)
+	if err := m1.Calibrate([]*video.RGB{f}); err != nil {
+		t.Fatal(err)
+	}
+	scales := m1.ActScales()
+	if len(scales) != len(m1.convs()) {
+		t.Fatalf("ActScales returned %d entries for %d convs", len(scales), len(m1.convs()))
+	}
+	m2, _ := trainedModel(t, 14) // same seed + training → same weights
+	if err := m2.CalibrateFromScales(scales); err != nil {
+		t.Fatal(err)
+	}
+	a, b := m1.EnhanceInt8(f), m2.EnhanceInt8(f)
+	for j := range a.Pix {
+		if a.Pix[j] != b.Pix[j] {
+			t.Fatalf("pixel %d differs after scale round trip", j)
+		}
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	m, err := New(Config{Filters: 4, ResBlocks: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Calibrate(nil); err == nil {
+		t.Fatal("Calibrate with no frames did not error")
+	}
+	if err := m.CalibrateFromScales([]float32{1, 2}); err == nil {
+		t.Fatal("CalibrateFromScales with wrong count did not error")
+	}
+}
+
+// TestForwardInferenceInt8Scales exercises the upsampling tail on the
+// quantized path (scale 2 and 4 shapes, shuffle in float32).
+func TestForwardInferenceInt8Scales(t *testing.T) {
+	for _, scale := range []int{2, 4} {
+		t.Run(fmt.Sprintf("x%d", scale), func(t *testing.T) {
+			m, err := New(Config{Filters: 8, ResBlocks: 2, Scale: scale}, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			low := genFrame(t, 48, 32, 5)
+			high := genFrame(t, 48*scale, 32*scale, 5)
+			if _, err := m.Train([]Pair{{Low: low, High: high}}, TrainOptions{Steps: 3, PatchSize: 16}); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Calibrate([]*video.RGB{low}); err != nil {
+				t.Fatal(err)
+			}
+			want := m.Enhance(low)
+			got := m.EnhanceInt8(low)
+			if got.W != want.W || got.H != want.H {
+				t.Fatalf("shape mismatch: %dx%d vs %dx%d", got.W, got.H, want.W, want.H)
+			}
+			if psnr := quality.PSNR(got, want); psnr < 35 {
+				t.Fatalf("int8 vs float32 PSNR = %.1f dB at x%d, want >= 35", psnr, scale)
+			}
+		})
+	}
+}

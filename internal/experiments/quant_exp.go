@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dcsr/internal/core"
+	"dcsr/internal/video"
+)
+
+// QuantGateResult summarizes one pipeline run with the int8 calibration
+// stage enabled: how many cluster models passed the quality gate, the
+// mean per-cluster PSNRs of the two numeric paths on their calibration
+// frames, and how playback actually routed.
+type QuantGateResult struct {
+	// Models is the number of trained cluster models calibrated.
+	Models int `json:"models"`
+	// Fallbacks counts clusters the gate kept on float32.
+	Fallbacks    int     `json:"fallbacks"`
+	FallbackRate float64 `json:"fallback_rate"`
+	// PSNRFloat32/PSNRInt8 are means over clusters of the calibration
+	// PSNR against the pristine originals; PSNRDelta = float32 − int8
+	// (positive means the quantized path lost that many dB).
+	PSNRFloat32 float64 `json:"psnr_float32"`
+	PSNRInt8    float64 `json:"psnr_int8"`
+	PSNRDelta   float64 `json:"psnr_delta"`
+	// Enhanced/EnhancedInt8 are the playback routing counts: I frames
+	// enhanced in total and the subset served on the int8 kernel path.
+	Enhanced     int `json:"enhanced"`
+	EnhancedInt8 int `json:"enhanced_int8"`
+}
+
+// ExperimentQuantGate prepares the news video with the quantize_int8
+// stage enabled (default 0.5 dB gate), plays it back, and reports the
+// per-cluster gate outcomes plus the playback precision routing.
+func ExperimentQuantGate(cfg EvalConfig) (Table, *QuantGateResult, error) {
+	clip := cfg.clip(video.GenreNews)
+	frames := clip.YUVFrames()
+	sc := cfg.serverConfig()
+	sc.Quant = core.QuantConfig{Enabled: true}
+	prep, err := core.Prepare(frames, clip.FPS, sc)
+	if err != nil {
+		return Table{}, nil, err
+	}
+	playRes, err := core.NewPlayer(prep).Play()
+	if err != nil {
+		return Table{}, nil, err
+	}
+
+	r := &QuantGateResult{
+		Enhanced:     playRes.Decode.Enhanced,
+		EnhancedInt8: playRes.Decode.EnhancedInt8,
+	}
+	t := Table{
+		Title:  "Int8 calibration quality gate (per cluster)",
+		Header: []string{"cluster", "f32 PSNR (dB)", "int8 PSNR (dB)", "delta", "verdict"},
+	}
+	for _, label := range prep.Manifest.ModelLabels() {
+		sm := prep.Models[label]
+		if sm == nil || sm.Quant == nil {
+			continue
+		}
+		q := sm.Quant
+		r.Models++
+		r.PSNRFloat32 += q.PSNRFloat32
+		r.PSNRInt8 += q.PSNRInt8
+		verdict := "int8"
+		if !q.Int8OK {
+			verdict = "float32 fallback"
+			r.Fallbacks++
+		}
+		t.Add(fmt.Sprintf("%d", label), f2(q.PSNRFloat32), f2(q.PSNRInt8),
+			f2(q.PSNRFloat32-q.PSNRInt8), verdict)
+	}
+	if r.Models > 0 {
+		r.PSNRFloat32 /= float64(r.Models)
+		r.PSNRInt8 /= float64(r.Models)
+		r.PSNRDelta = r.PSNRFloat32 - r.PSNRInt8
+		r.FallbackRate = float64(r.Fallbacks) / float64(r.Models)
+	}
+	return t, r, nil
+}

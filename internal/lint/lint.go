@@ -366,7 +366,8 @@ func deterministicPkgs(modPath string) map[string]bool {
 	set := map[string]bool{}
 	for _, p := range []string{
 		"internal/cluster", "internal/vae", "internal/edsr", "internal/nn",
-		"internal/codec", "internal/video", "internal/splitter", "internal/experiments",
+		"internal/tensor", "internal/codec", "internal/video", "internal/splitter",
+		"internal/experiments",
 	} {
 		set[modPath+"/"+p] = true
 	}

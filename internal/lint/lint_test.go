@@ -40,6 +40,8 @@ func TestFixtures(t *testing.T) {
 			return []Analyzer{&MetricNames{Docs: map[string]bool{
 				"frames_total": true, "enhance_seconds": true, "queue_depth": true,
 				"fetches_window_total": true, "rtt_window_seconds": true,
+				"quant_int8_models_total": true, "quant_fallback_total": true,
+				"codec_enhance_int8_window_seconds": true,
 			}}}
 		}},
 		{"nodeterm", func(path string) []Analyzer {

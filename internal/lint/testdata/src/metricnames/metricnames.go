@@ -17,6 +17,11 @@ func Good(o *obs.Obs, reg *obs.Registry) {
 	o.Histogram("enhance" + suffix).Observe(0.5)
 	o.WindowedCounter("fetches_window_total").Inc()
 	reg.WindowedHistogram("rtt_window_seconds").Observe(0.01)
+	// The int8 quantization surface: gate counters plus the windowed
+	// latency twin of the float32 enhance histogram.
+	o.Counter("quant_int8_models_total").Inc()
+	o.Counter("quant_fallback_total").Inc()
+	o.WindowedHistogram("codec_enhance_int8_window_seconds").Observe(0.002)
 }
 
 // Bad covers one violation per rule.

@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Edge-case coverage for the fp16 converters: every representable half
+// value, NaN/Inf propagation, the subnormal boundary, overflow
+// saturation, and the tie-rounding convention.
+
+// TestFloat16ExhaustiveRoundTrip walks all 65536 half bit patterns:
+// every non-NaN half must survive Float16To32 → Float32To16 bit-exactly
+// (float32 represents all halves exactly, so the down-conversion has
+// nothing to round); every NaN half must come back as some NaN.
+func TestFloat16ExhaustiveRoundTrip(t *testing.T) {
+	for h := 0; h <= 0xFFFF; h++ {
+		bits := uint16(h)
+		f := Float16To32(bits)
+		got := Float32To16(f)
+		if bits&0x7C00 == 0x7C00 && bits&0x3FF != 0 { // NaN
+			if got&0x7C00 != 0x7C00 || got&0x3FF == 0 {
+				t.Fatalf("half NaN %#04x came back as %#04x (not NaN)", bits, got)
+			}
+			continue
+		}
+		if got != bits {
+			t.Fatalf("half %#04x -> %v -> %#04x", bits, f, got)
+		}
+	}
+}
+
+func TestFloat16NaNAndInf(t *testing.T) {
+	nan32 := float32(math.NaN())
+	if h := Float32To16(nan32); h&0x7C00 != 0x7C00 || h&0x3FF == 0 {
+		t.Fatalf("NaN encoded as %#04x", h)
+	}
+	if !math.IsNaN(float64(Float16To32(0x7E00))) {
+		t.Fatal("half NaN did not decode to NaN")
+	}
+	if h := Float32To16(float32(math.Inf(1))); h != 0x7C00 {
+		t.Fatalf("+Inf encoded as %#04x, want 0x7c00", h)
+	}
+	if h := Float32To16(float32(math.Inf(-1))); h != 0xFC00 {
+		t.Fatalf("-Inf encoded as %#04x, want 0xfc00", h)
+	}
+	if Float16To32(0xFC00) != float32(math.Inf(-1)) {
+		t.Fatal("half -Inf did not decode to -Inf")
+	}
+}
+
+func TestFloat16SubnormalBoundaries(t *testing.T) {
+	tiny := float32(math.Ldexp(1, -24)) // smallest half subnormal
+	if h := Float32To16(tiny); h != 0x0001 {
+		t.Fatalf("2^-24 encoded as %#04x, want 0x0001", h)
+	}
+	if got := Float16To32(0x0001); got != tiny {
+		t.Fatalf("smallest subnormal decoded to %v, want %v", got, tiny)
+	}
+	// Half of the smallest subnormal sits on a tie; the converter rounds
+	// it up rather than to zero.
+	if h := Float32To16(float32(math.Ldexp(1, -25))); h != 0x0001 {
+		t.Fatalf("2^-25 encoded as %#04x, want 0x0001 (tie rounds up)", h)
+	}
+	// Anything below the tie underflows to signed zero.
+	if h := Float32To16(float32(math.Ldexp(1, -26))); h != 0 {
+		t.Fatalf("2^-26 encoded as %#04x, want 0", h)
+	}
+	if h := Float32To16(float32(-math.Ldexp(1, -26))); h != 0x8000 {
+		t.Fatalf("-2^-26 encoded as %#04x, want 0x8000", h)
+	}
+	// Largest subnormal and smallest normal are adjacent codes.
+	if h := Float32To16(float32(math.Ldexp(1023, -24))); h != 0x03FF {
+		t.Fatalf("largest subnormal encoded as %#04x, want 0x03ff", h)
+	}
+	if h := Float32To16(float32(math.Ldexp(1, -14))); h != 0x0400 {
+		t.Fatalf("smallest normal encoded as %#04x, want 0x0400", h)
+	}
+}
+
+// TestFloat16TieRounding pins the converter's convention on exact
+// halfway values: it rounds ties up (away from the lower code), not
+// to-nearest-even. 1 + 2^-11 is exactly between half codes 0x3C00 and
+// 0x3C01; RNE would pick the even 0x3C00.
+func TestFloat16TieRounding(t *testing.T) {
+	if h := Float32To16(1 + 1.0/2048); h != 0x3C01 {
+		t.Fatalf("tie 1+2^-11 encoded as %#04x, want 0x3c01 (half-up)", h)
+	}
+	// A tie above an odd code lands on the even code — same answer as
+	// RNE there, so only the case above distinguishes the conventions.
+	if h := Float32To16(1 + 3.0/2048); h != 0x3C02 {
+		t.Fatalf("tie 1+3·2^-11 encoded as %#04x, want 0x3c02", h)
+	}
+}
+
+func TestFloat16OverflowBoundary(t *testing.T) {
+	if h := Float32To16(65504); h != 0x7BFF { // largest finite half
+		t.Fatalf("65504 encoded as %#04x, want 0x7bff", h)
+	}
+	// 65520 is the tie between the largest finite half and infinity; the
+	// rounding increment carries the code into the Inf encoding.
+	if h := Float32To16(65520); h != 0x7C00 {
+		t.Fatalf("65520 encoded as %#04x, want 0x7c00 (rounds to Inf)", h)
+	}
+	if h := Float32To16(-65520); h != 0xFC00 {
+		t.Fatalf("-65520 encoded as %#04x, want 0xfc00", h)
+	}
+	if h := Float32To16(1e9); h != 0x7C00 {
+		t.Fatalf("1e9 encoded as %#04x, want saturation to Inf", h)
+	}
+}
+
+// TestFloat16ConversionIdempotent fuzzes arbitrary float32 bit patterns:
+// converting twice must equal converting once (the first conversion
+// lands on a representable half, which then round-trips exactly).
+func TestFloat16ConversionIdempotent(t *testing.T) {
+	f := func(bits uint32) bool {
+		v := math.Float32frombits(bits)
+		h1 := Float32To16(v)
+		h2 := Float32To16(Float16To32(h1))
+		if math.IsNaN(float64(v)) {
+			return h1&0x7C00 == 0x7C00 && h1&0x3FF != 0 &&
+				h2&0x7C00 == 0x7C00 && h2&0x3FF != 0
+		}
+		return h1 == h2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -64,7 +64,11 @@ type Conv2D struct {
 
 	x    *tensor.Tensor
 	cols [][]float32
-	out  *tensor.Tensor // reusable inference output
+	out  *tensor.Tensor // reusable inference output (both precisions)
+
+	calibrating bool        // observing activation ranges (see nn_int8.go)
+	actMax      float32     // calibrated input max-abs
+	int8        *conv2DInt8 // quantized state, nil until QuantizeInt8
 }
 
 // NewConv2D creates a KxK convolution from inC to outC channels with the
@@ -91,14 +95,26 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 // ForwardInference applies the convolution without retaining column
 // buffers, writing into the layer's reusable output tensor.
 func (c *Conv2D) ForwardInference(x *tensor.Tensor) *tensor.Tensor {
+	c.observe(x)
 	c.out = tensor.Conv2DInfer(x, c.Wt.W, c.Bias.W, c.Spec, false, c.out)
 	return c.out
+}
+
+// observe widens the calibrated activation range while the layer is in
+// calibration mode (see nn_int8.go); otherwise it is a no-op.
+func (c *Conv2D) observe(x *tensor.Tensor) {
+	if c.calibrating {
+		if m := x.MaxAbs(); m > c.actMax {
+			c.actMax = m
+		}
+	}
 }
 
 // ForwardInferenceReLU is ForwardInference with the ReLU activation
 // fused into the convolution epilogue, bitwise identical to a separate
 // ReLU pass over the same output.
 func (c *Conv2D) ForwardInferenceReLU(x *tensor.Tensor) *tensor.Tensor {
+	c.observe(x)
 	c.out = tensor.Conv2DInfer(x, c.Wt.W, c.Bias.W, c.Spec, true, c.out)
 	return c.out
 }

@@ -1,0 +1,213 @@
+package nn
+
+import (
+	"math"
+
+	"dcsr/internal/tensor"
+)
+
+// Int8 inference path. Quantized inference mirrors the float32
+// ForwardInference contract layer for layer: no grad state, layer-owned
+// output buffers (shared with the float32 path — the two paths must not
+// be interleaved mid-pass), zero steady-state allocations. The scheme is
+// symmetric linear quantization with per-output-channel weight scales
+// and one calibrated per-layer activation scale:
+//
+//	x_q = round(x · 127/actMax)          (per layer, calibrated)
+//	w_q[oc] = round(w / wScale[oc])      (per output channel)
+//	out = (Σ x_q·w_q) · wScale[oc]·actMax/127 + bias
+//
+// Calibration records each conv input's max absolute value while the
+// float32 path runs over representative frames — for dcSR that is a
+// handful of the cluster's own training frames, which is exactly the
+// distribution the model will see (the data-centric premise). Layers
+// without arithmetic of their own (ReLU, PixelShuffle) run their float32
+// code on the requantized activations, so the int8 graph is the float32
+// graph with only the convolutions swapped.
+
+// Int8Layer is implemented by layers that can run on the quantized
+// inference path. ForwardInferenceInt8 follows the ForwardInference
+// contract (layer-owned output, no grad state, input may be modified);
+// Int8Ready reports whether the layer has been calibrated and quantized.
+type Int8Layer interface {
+	Layer
+	ForwardInferenceInt8(x *tensor.Tensor) *tensor.Tensor
+	Int8Ready() bool
+}
+
+// conv2DInt8 is the quantized execution state of a Conv2D, built by
+// QuantizeInt8 and owned by the layer.
+type conv2DInt8 struct {
+	w      []int8    // (OutC, InC·K·K) per-channel quantized weights
+	scales []float32 // per-output-channel requantization multiplier
+	inInv  float32   // input quantization multiplier 127/actMax
+	qin    []int8    // reusable quantized-input buffer
+}
+
+// BeginCalibration puts the convolution into calibration mode: until
+// EndCalibration, every ForwardInference observes its input's max
+// absolute value into the layer's activation range.
+func (c *Conv2D) BeginCalibration() {
+	c.calibrating = true
+	c.actMax = 0
+	c.int8 = nil
+}
+
+// EndCalibration leaves calibration mode, freezing the observed
+// activation range.
+func (c *Conv2D) EndCalibration() { c.calibrating = false }
+
+// ActMax returns the calibrated input activation range (0 before any
+// calibration pass has run).
+func (c *Conv2D) ActMax() float32 { return c.actMax }
+
+// SetActMax installs a previously calibrated activation range, e.g. one
+// restored from a serving manifest, so QuantizeInt8 can rebuild the
+// int8 state without rerunning calibration frames.
+func (c *Conv2D) SetActMax(m float32) { c.actMax = m }
+
+// Int8Ready reports whether QuantizeInt8 has built the quantized state.
+func (c *Conv2D) Int8Ready() bool { return c.int8 != nil }
+
+// QuantizeInt8 builds the layer's int8 inference state from the current
+// weights and the calibrated activation range. Weights are quantized
+// per output channel (each flattened InC·K·K row gets its own symmetric
+// scale); the per-channel requantization multiplier folds the weight
+// and activation scales so the kernel epilogue is a single multiply.
+// Must be called again after any weight update.
+func (c *Conv2D) QuantizeInt8() {
+	colRows := c.Spec.InC * c.Spec.K * c.Spec.K
+	q := &conv2DInt8{
+		w:      make([]int8, c.Spec.OutC*colRows),
+		scales: make([]float32, c.Spec.OutC),
+	}
+	actScale := c.actMax / 127
+	if c.actMax > 0 {
+		q.inInv = 127 / c.actMax
+	}
+	for oc := 0; oc < c.Spec.OutC; oc++ {
+		row := c.Wt.W.Data[oc*colRows : (oc+1)*colRows]
+		wScale := quantizeRowInt8(row, q.w[oc*colRows:(oc+1)*colRows])
+		q.scales[oc] = wScale * actScale
+	}
+	c.int8 = q
+}
+
+// ForwardInferenceInt8 runs the convolution on the int8 kernel path:
+// quantize the input with the calibrated scale, int8×int8 → int32
+// accumulate, requantize + bias in the epilogue.
+func (c *Conv2D) ForwardInferenceInt8(x *tensor.Tensor) *tensor.Tensor {
+	return c.forwardInt8(x, false)
+}
+
+// ForwardInferenceInt8ReLU is ForwardInferenceInt8 with ReLU fused into
+// the kernel epilogue.
+func (c *Conv2D) ForwardInferenceInt8ReLU(x *tensor.Tensor) *tensor.Tensor {
+	return c.forwardInt8(x, true)
+}
+
+func (c *Conv2D) forwardInt8(x *tensor.Tensor, relu bool) *tensor.Tensor {
+	q := c.int8
+	if q == nil {
+		panic("nn: Conv2D int8 inference before QuantizeInt8")
+	}
+	if cap(q.qin) < x.Len() {
+		q.qin = make([]int8, x.Len())
+	}
+	qin := q.qin[:x.Len()]
+	tensor.QuantizeInt8Into(qin, x.Data, q.inInv)
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	c.out = tensor.Conv2DInferInt8(qin, n, c.Spec.InC, h, w, q.w, q.scales, c.Bias.W.Data, c.Spec, relu, c.out)
+	return c.out
+}
+
+// ForwardInferenceInt8 for ReLU is the float32 code: activations on the
+// int8 path are already requantized to float32 between layers.
+func (r *ReLU) ForwardInferenceInt8(x *tensor.Tensor) *tensor.Tensor {
+	return r.ForwardInference(x)
+}
+
+// Int8Ready reports true; ReLU has no quantized state.
+func (r *ReLU) Int8Ready() bool { return true }
+
+// ForwardInferenceInt8 for PixelShuffle is the float32 rearrangement.
+func (p *PixelShuffle) ForwardInferenceInt8(x *tensor.Tensor) *tensor.Tensor {
+	return p.ForwardInference(x)
+}
+
+// Int8Ready reports true; PixelShuffle has no quantized state.
+func (p *PixelShuffle) Int8Ready() bool { return true }
+
+// ForwardInferenceInt8 runs the residual block with both convolutions on
+// the int8 path (the first with fused ReLU) and the residual add in
+// float32, mirroring ForwardInference exactly.
+func (b *ResBlock) ForwardInferenceInt8(x *tensor.Tensor) *tensor.Tensor {
+	h := b.Conv1.ForwardInferenceInt8ReLU(x)
+	h = b.Conv2.ForwardInferenceInt8(h)
+	b.out = tensor.Ensure(b.out, x.Shape...)
+	for i, v := range h.Data {
+		b.out.Data[i] = x.Data[i] + b.ResScale*v
+	}
+	return b.out
+}
+
+// Int8Ready reports whether both convolutions are quantized.
+func (b *ResBlock) Int8Ready() bool {
+	return b.Conv1.Int8Ready() && b.Conv2.Int8Ready()
+}
+
+// ForwardInferenceInt8 runs each layer on its int8 path when available
+// and quantized, falling back to float32 per layer otherwise.
+func (s *Sequential) ForwardInferenceInt8(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range s.Layers {
+		if il, ok := l.(Int8Layer); ok && il.Int8Ready() {
+			x = il.ForwardInferenceInt8(x)
+		} else {
+			x = l.ForwardInference(x)
+		}
+	}
+	return x
+}
+
+// Int8Ready reports whether every layer that has a quantized form is
+// ready (layers without one fall back to float32 and don't block).
+func (s *Sequential) Int8Ready() bool {
+	for _, l := range s.Layers {
+		if c, ok := l.(*Conv2D); ok && !c.Int8Ready() {
+			return false
+		}
+	}
+	return true
+}
+
+// quantizeRowInt8 symmetrically quantizes row into dst and returns the
+// scale: maxabs/127, or 1 for an all-zero row — the same convention as
+// the dcW3 wire format, so wire and inference quantization agree
+// bit-for-bit on identical inputs.
+func quantizeRowInt8(row []float32, dst []int8) float32 {
+	var maxAbs float32
+	for _, v := range row {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	scale := maxAbs / 127
+	if scale == 0 {
+		scale = 1
+	}
+	for i, v := range row {
+		q := math.Round(float64(v / scale))
+		if q > 127 {
+			q = 127
+		}
+		if q < -127 {
+			q = -127
+		}
+		dst[i] = int8(q)
+	}
+	return scale
+}

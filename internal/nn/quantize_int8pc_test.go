@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"dcsr/internal/tensor"
+)
+
+func TestQuantizedRoundTripInt8PC(t *testing.T) {
+	src := quantModel(t, 9)
+	dst := quantModel(t, 10)
+	data := EncodeWeightsQuantized(src.Params(), QuantInt8PC)
+	if len(data) != QuantizedSize(src.Params(), QuantInt8PC) {
+		t.Fatalf("encoded %d bytes, QuantizedSize says %d", len(data), QuantizedSize(src.Params(), QuantInt8PC))
+	}
+	if err := LoadWeightsAny(bytes.NewReader(data), dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	// Per-channel: each value errs by at most half of its own channel's
+	// quantization step, a strictly tighter bound than per-tensor.
+	for i, p := range src.Params() {
+		sc := scaleCount(p)
+		rowLen := p.W.Len() / sc
+		for ch := 0; ch < sc; ch++ {
+			row := p.W.Data[ch*rowLen : (ch+1)*rowLen]
+			var maxAbs float64
+			for _, v := range row {
+				if a := math.Abs(float64(v)); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			step := maxAbs / 127
+			for j, v := range row {
+				got := dst.Params()[i].W.Data[ch*rowLen+j]
+				if math.Abs(float64(got-v)) > step/2+1e-7 {
+					t.Fatalf("param %d ch %d[%d]: %v -> %v exceeds half a channel step %v",
+						i, ch, j, v, got, step)
+				}
+			}
+		}
+	}
+}
+
+// TestInt8PCMatchesInferenceQuant pins the contract that makes dcW4 the
+// wire twin of the inference path: decoding then re-quantizing with
+// quantizeRowInt8 reproduces the exact codes and scales that were
+// serialized.
+func TestInt8PCMatchesInferenceQuant(t *testing.T) {
+	src := quantModel(t, 11)
+	dst := quantModel(t, 12)
+	data := EncodeWeightsQuantized(src.Params(), QuantInt8PC)
+	if err := LoadWeightsAny(bytes.NewReader(data), dst.Params()); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range src.Params() {
+		sc := scaleCount(p)
+		rowLen := p.W.Len() / sc
+		orig := make([]int8, rowLen)
+		redec := make([]int8, rowLen)
+		for ch := 0; ch < sc; ch++ {
+			s1 := quantizeRowInt8(p.W.Data[ch*rowLen:(ch+1)*rowLen], orig)
+			s2 := quantizeRowInt8(dst.Params()[i].W.Data[ch*rowLen:(ch+1)*rowLen], redec)
+			if s1 != s2 {
+				t.Fatalf("param %d ch %d: scale drifted %v -> %v through the wire", i, ch, s1, s2)
+			}
+			for j := range orig {
+				if orig[j] != redec[j] {
+					t.Fatalf("param %d ch %d[%d]: code drifted %d -> %d", i, ch, j, orig[j], redec[j])
+				}
+			}
+		}
+	}
+}
+
+// TestInt8PCBeatsPerTensorOnSkewedChannels builds a weight whose
+// channels differ in magnitude by 100×; per-tensor quantization crushes
+// the small channel, per-channel keeps it.
+func TestInt8PCBeatsPerTensorOnSkewedChannels(t *testing.T) {
+	p := &Param{Name: "w", W: tensor.New(2, 8), Grad: tensor.New(2, 8)}
+	for j := 0; j < 8; j++ {
+		p.W.Data[j] = 100 * (float32(j) - 3.5) / 3.5
+		p.W.Data[8+j] = (float32(j) - 3.5) / 3.5
+	}
+	decode := func(q Quantization) []float32 {
+		dst := &Param{Name: "w", W: tensor.New(2, 8), Grad: tensor.New(2, 8)}
+		data := EncodeWeightsQuantized([]*Param{p}, q)
+		if err := LoadWeightsAny(bytes.NewReader(data), []*Param{dst}); err != nil {
+			t.Fatal(err)
+		}
+		return dst.W.Data
+	}
+	rms := func(got []float32) float64 {
+		var sum float64
+		for j := 8; j < 16; j++ {
+			d := float64(got[j] - p.W.Data[j])
+			sum += d * d
+		}
+		return math.Sqrt(sum / 8)
+	}
+	perTensor := rms(decode(QuantInt8))
+	perChannel := rms(decode(QuantInt8PC))
+	if perChannel*10 > perTensor {
+		t.Fatalf("per-channel rms %v not ≪ per-tensor rms %v on skewed channels", perChannel, perTensor)
+	}
+}
+
+// TestInt8PCLegacyDecode checks dcW3 streams still decode after the
+// dcW4 addition (stacked-format compatibility).
+func TestInt8PCLegacyDecode(t *testing.T) {
+	src := quantModel(t, 13)
+	dst := quantModel(t, 14)
+	data := EncodeWeightsQuantized(src.Params(), QuantInt8)
+	if data[3] != '3' {
+		t.Fatalf("dcW3 magic changed: %q", data[:4])
+	}
+	if err := LoadWeightsAny(bytes.NewReader(data), dst.Params()); err != nil {
+		t.Fatalf("legacy dcW3 decode failed: %v", err)
+	}
+}
+
+func TestInt8PCRejectsBadStreams(t *testing.T) {
+	ps := quantModel(t, 15).Params()
+	data := EncodeWeightsQuantized(ps, QuantInt8PC)
+	if err := LoadWeightsAny(bytes.NewReader(data[:len(data)-3]), ps); err == nil {
+		t.Fatal("truncated dcW4 stream accepted")
+	}
+	// A zero scale count divides nothing evenly and must be rejected.
+	var buf bytes.Buffer
+	buf.Write([]byte("dcW4"))
+	binary.Write(&buf, binary.LittleEndian, uint32(1))
+	binary.Write(&buf, binary.LittleEndian, uint32(ps[0].W.Len()))
+	binary.Write(&buf, binary.LittleEndian, uint32(0))
+	if err := LoadWeightsAny(bytes.NewReader(buf.Bytes()), ps[:1]); err == nil {
+		t.Fatal("zero scale count accepted")
+	}
+}
+
+func TestQuantizedSizeOrderingInt8PC(t *testing.T) {
+	ps := quantModel(t, 16).Params()
+	int8s := QuantizedSize(ps, QuantInt8)
+	int8pc := QuantizedSize(ps, QuantInt8PC)
+	fp16 := QuantizedSize(ps, QuantF16)
+	if !(int8s < int8pc && int8pc < fp16) {
+		t.Fatalf("size ordering violated: int8 %d, int8pc %d, fp16 %d", int8s, int8pc, fp16)
+	}
+}

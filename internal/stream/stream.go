@@ -43,6 +43,17 @@ type SegmentInfo struct {
 type ModelInfo struct {
 	Label int
 	Bytes int
+	// Int8 reports that the model passed the server-side int8
+	// calibration quality gate: its manifest entry ships activation
+	// scales and the client may run it on the quantized kernel path.
+	// False (including manifests from servers predating the field)
+	// keeps the client on float32.
+	Int8 bool `json:"int8,omitempty"`
+	// ActScales are the per-conv activation quantization scales the
+	// server calibrated from the cluster's own frames; a client feeds
+	// them to Model.CalibrateFromScales to arm the int8 path
+	// bit-identically to the origin. Only set when Int8 is true.
+	ActScales []float32 `json:"act_scales,omitempty"`
 }
 
 // Manifest is the per-video index a dcSR client downloads first: the

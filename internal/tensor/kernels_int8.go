@@ -1,0 +1,319 @@
+package tensor
+
+import "math"
+
+// Int8 GEMM kernels. The quantized inference path trades the float32
+// kernels' row-major column matrix for a transposed "im2row" layout:
+// each output pixel owns one contiguous record that lines up
+// element-for-element with a row of the flattened weight matrix, so
+// every output element is a dot product of two contiguous int8 vectors.
+//
+// A scalar int8 dot product cannot beat the float32 kernel — integer
+// and float multiplies issue at the same rate — so the blocked kernel
+// computes three products per hardware multiply with a SWAR packing:
+// both operands are biased to unsigned (v+128 ∈ [1,255]) and three
+// consecutive elements are packed into 18-bit lanes of a uint64 — lanes
+// at bits {0, 18, 36} in the weight operand and {46, 28, 10} in the
+// record operand. In the 64-bit (wrapping) product w·r the diagonal of
+// the lane polynomials,
+//
+//	Σ_{t=0..2} w'[t]·r'[t],
+//
+// lands exactly in bits [46, 64): each cross-term group is a sum of at
+// most three biased products ≤ 3·255² = 195075 < 2¹⁸, so no group ever
+// carries into its neighbour, the group above the diagonal begins at
+// bit 64 and wraps away, and the extraction (prod>>46)&(2¹⁸−1) is
+// exact. One two-operand multiply plus a shift, a mask, and an add
+// replace three multiply-accumulates. The bias unbiases through the
+// exact identity
+//
+//	Σ a·b = Σ a'·b' − 128·Σa' − 128·Σb' + 128²·kp
+//
+// over the padded length kp (padding packs as the bias value, i.e.
+// int8 0, and cancels in the identity), with the operand sums
+// accumulated once at pack time. The result is the bit-exact int32
+// accumulation of the naive int8 kernel — integer addition is
+// associative, so any blocking, banding, or parallel split produces
+// identical sums — at a third of the multiply count and far fewer ALU
+// ops per term.
+//
+// Weight rows are packed four at a time, interleaved word-by-word
+// (block word t·4+j is word t of row j), so the four-row dot loop walks
+// ONE advancing pointer with constant displacements instead of four —
+// with separate row slices the loop body clobbers the pointer registers
+// and reloads three of them from the stack every iteration.
+//
+// The fused epilogue requantizes each finished sum with its per-row
+// scale, adds the bias, and optionally applies ReLU; it is a fixed
+// per-element float expression shared with the naive reference, so full
+// outputs are bit-identical across worker counts, band boundaries, and
+// the reference kernel.
+
+const (
+	// swarLane is the lane width of the packed representation. Three
+	// lanes of biased products (≤ 3·255² < 2¹⁸) never carry.
+	swarLane = 18
+	swarMask = 1<<swarLane - 1
+	// swarBias shifts int8 values to unsigned [1, 255] so lane groups
+	// are non-negative and extraction needs no sign handling.
+	swarBias = 128
+	// swarGroup is how many int8 elements pack into one uint64.
+	swarGroup = 3
+	// swarDiagShift is where the diagonal group starts: the record
+	// operand's top lane sits at 64−swarLane so the diagonal fills the
+	// top of the low product word and the lane above wraps away.
+	swarDiagShift = 64 - swarLane
+	// swarMaxK bounds the padded reduction length: beyond it the biased
+	// dot (≤ kp·255²) could overflow the int32 accumulator contract.
+	swarMaxK = 1 << 14
+)
+
+// packedGroups returns the packed-word count for a k-long operand
+// section (k rounded up to a multiple of swarGroup).
+func packedGroups(k int) int { return (k + swarGroup - 1) / swarGroup }
+
+// packInt8RowsBlocked packs rows of int8 into the blocked-interleaved
+// low-lane weight layout consumed by gemmInt8Rows and the int8 conv.
+// Each row is numSec sections of secLen elements; every section is
+// padded independently to a whole number of groups (gs =
+// packedGroups(secLen)), so a row occupies g = numSec·gs words. Rows
+// are grouped four at a time with their words interleaved — word t of
+// row 4b+j lands at dst[b·4g + t·4 + j] — and the ≤3 leftover rows
+// follow flat at dst[(rows/4)·4g + r·g + t]. sums[i] receives Σ(v+128)
+// over row i's padded elements. Sections matter to the banded conv,
+// which assembles records from per-(input-row, x) section slices; plain
+// GEMM callers pass numSec=1, secLen=k.
+func packInt8RowsBlocked(src []int8, rows, secLen, numSec int, dst, sums []uint64) {
+	gs := packedGroups(secLen)
+	g := numSec * gs
+	if swarGroup*g > swarMaxK {
+		panic("tensor: int8 GEMM reduction too large")
+	}
+	nb4 := rows / 4
+	rowLen := secLen * numSec
+	for i := 0; i < rows; i++ {
+		row := src[i*rowLen : (i+1)*rowLen]
+		var sum uint64
+		for s := 0; s < numSec; s++ {
+			sec := row[s*secLen : (s+1)*secLen]
+			for t := 0; t < gs; t++ {
+				var v [swarGroup]uint64
+				for q := 0; q < swarGroup; q++ {
+					if e := t*swarGroup + q; e < secLen {
+						v[q] = uint64(int64(sec[e]) + swarBias)
+					} else {
+						v[q] = swarBias // padding packs as int8 value 0
+					}
+					sum += v[q]
+				}
+				word := v[0] | v[1]<<swarLane | v[2]<<(2*swarLane)
+				wi := s*gs + t
+				if b := i / 4; b < nb4 {
+					dst[b*4*g+wi*4+i&3] = word
+				} else {
+					dst[nb4*4*g+(i-nb4*4)*g+wi] = word
+				}
+			}
+		}
+		sums[i] = sum
+	}
+}
+
+// packInt8HighLanes packs rows (rows × k int8) flat into rows × g
+// uint64 words, g = packedGroups(k), with descending lanes from bit
+// swarDiagShift — the record-side layout, so that the weight·record
+// lane polynomials align element t with element t on the product
+// diagonal. sums[i] receives Σ(v+128) over the padded row.
+func packInt8HighLanes(src []int8, rows, k int, dst []uint64, sums []uint64) {
+	if k > swarMaxK {
+		panic("tensor: int8 GEMM reduction too large")
+	}
+	g := packedGroups(k)
+	for i := 0; i < rows; i++ {
+		row := src[i*k : (i+1)*k]
+		drow := dst[i*g : (i+1)*g]
+		var sum uint64
+		di, t := 0, 0
+		for ; t+swarGroup <= k; t += swarGroup {
+			v0 := uint64(int64(row[t]) + swarBias)
+			v1 := uint64(int64(row[t+1]) + swarBias)
+			v2 := uint64(int64(row[t+2]) + swarBias)
+			sum += v0 + v1 + v2
+			drow[di] = v0<<swarDiagShift | v1<<(swarDiagShift-swarLane) | v2<<(swarDiagShift-2*swarLane)
+			di++
+		}
+		if t < k {
+			var v [swarGroup]uint64
+			for q := range v {
+				if t+q < k {
+					v[q] = uint64(int64(row[t+q]) + swarBias)
+				} else {
+					v[q] = swarBias // padding packs as int8 value 0
+				}
+				sum += v[q]
+			}
+			drow[di] = v[0]<<swarDiagShift | v[1]<<(swarDiagShift-swarLane) | v[2]<<(swarDiagShift-2*swarLane)
+		}
+		sums[i] = sum
+	}
+}
+
+// swarDot3 extracts the diagonal lane of one packed multiply: the sum
+// of the three biased products aligned by the opposing lane orders. The
+// wrapping 64-bit product is exactly the low word; everything above the
+// diagonal group wraps away.
+func swarDot3(w, r uint64) uint64 {
+	return (w * r >> swarDiagShift) & swarMask
+}
+
+// swarDotRows4 runs one packed record section against an interleaved
+// four-row weight block (w holds 4·len(r) words, word t·4+j belonging
+// to row j), returning the four biased diagonal sums. Kept out of the
+// caller's loop body on purpose: in isolation the accumulators, the two
+// pointers, and the loop state all fit in registers, where the same
+// code inlined into an epilogue-heavy frame spills on every iteration
+// (~35% slower measured).
+//
+//go:noinline
+func swarDotRows4(w, r []uint64) (d0, d1, d2, d3 uint64) {
+	w = w[:4*len(r)]
+	j := 0
+	for _, rv := range r {
+		d0 += swarDot3(w[j], rv)
+		d1 += swarDot3(w[j+1], rv)
+		d2 += swarDot3(w[j+2], rv)
+		d3 += swarDot3(w[j+3], rv)
+		j += 4
+	}
+	return d0, d1, d2, d3
+}
+
+// swarDotRow1 runs one packed record section against a single flat
+// weight row. Separate and noinline for the same register-pressure
+// reason as swarDotRows4: inlined into the remainder loop of a GEMM it
+// inherits a frame that spills the hot values.
+//
+//go:noinline
+func swarDotRow1(w, r []uint64) uint64 {
+	w = w[:len(r)]
+	var d uint64
+	for t, rv := range r {
+		d += swarDot3(w[t], rv)
+	}
+	return d
+}
+
+// gemmInt8Rows computes the int8 GEMM out(m×cols) = w(m×k) · recᵀ over
+// packed operands: wp/wsum from packInt8RowsBlocked (blocked-interleaved
+// weight rows), rp/rsum from packInt8HighLanes (flat records), g packed
+// words per row. Out element (i, j) lands at out[i*outStride + outOff +
+// j]. The fused epilogue applies the per-row requantization scale,
+// bias, and optional ReLU:
+//
+//	out[i][j] = relu( float32(Σ_kk w[i][kk]·rec[j][kk]) * scales[i] + bias[i] )
+func gemmInt8Rows(wp, wsum, rp, rsum []uint64, out []float32, m, g, cols, outOff, outStride int, scales, bias []float32, relu bool) {
+	// The unbias identity over the padded length kp = g·swarGroup:
+	// true dot = biased dot − 128·(rowSum + recSum) + 128²·kp.
+	corr := int32(swarBias * swarBias * g * swarGroup)
+	nb4 := m / 4
+	for b := 0; b < nb4; b++ {
+		i := b * 4
+		wblk := wp[b*4*g : (b+1)*4*g]
+		wt0 := corr - swarBias*int32(wsum[i])
+		wt1 := corr - swarBias*int32(wsum[i+1])
+		wt2 := corr - swarBias*int32(wsum[i+2])
+		wt3 := corr - swarBias*int32(wsum[i+3])
+		s0, s1, s2, s3 := scales[i], scales[i+1], scales[i+2], scales[i+3]
+		var b0, b1, b2, b3 float32
+		if bias != nil {
+			b0, b1, b2, b3 = bias[i], bias[i+1], bias[i+2], bias[i+3]
+		}
+		o0 := out[i*outStride+outOff : i*outStride+outOff+cols]
+		o1 := out[(i+1)*outStride+outOff : (i+1)*outStride+outOff+cols]
+		o2 := out[(i+2)*outStride+outOff : (i+2)*outStride+outOff+cols]
+		o3 := out[(i+3)*outStride+outOff : (i+3)*outStride+outOff+cols]
+		for j := 0; j < cols; j++ {
+			d0, d1, d2, d3 := swarDotRows4(wblk, rp[j*g:j*g+g])
+			rterm := swarBias * int32(rsum[j])
+			o0[j] = requantInt8(int32(d0)+wt0-rterm, s0, b0, relu)
+			o1[j] = requantInt8(int32(d1)+wt1-rterm, s1, b1, relu)
+			o2[j] = requantInt8(int32(d2)+wt2-rterm, s2, b2, relu)
+			o3[j] = requantInt8(int32(d3)+wt3-rterm, s3, b3, relu)
+		}
+	}
+	for i := nb4 * 4; i < m; i++ {
+		wrow := wp[nb4*4*g+(i-nb4*4)*g : nb4*4*g+(i-nb4*4+1)*g]
+		wt := corr - swarBias*int32(wsum[i])
+		si := scales[i]
+		var bi float32
+		if bias != nil {
+			bi = bias[i]
+		}
+		orow := out[i*outStride+outOff : i*outStride+outOff+cols]
+		for j := 0; j < cols; j++ {
+			d := swarDotRow1(wrow, rp[j*g:j*g+g])
+			orow[j] = requantInt8(int32(d)+wt-swarBias*int32(rsum[j]), si, bi, relu)
+		}
+	}
+}
+
+// requantInt8 is the shared epilogue of the blocked kernel and the naive
+// reference: one float32 multiply, one add, optional ReLU — identical
+// expressions, so parity between the two kernels is exact, not
+// approximate.
+func requantInt8(acc int32, scale, bias float32, relu bool) float32 {
+	v := float32(acc)*scale + bias
+	if relu && v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// matmulInt8Ref is the naive reference for gemmInt8Rows, operating on
+// the unpacked int8 operands with plain int32 accumulation, retained so
+// parity tests check the SWAR kernel against an implementation whose
+// correctness is obvious by inspection. It writes the full m×cols
+// output contiguously (outStride = cols, outOff = 0).
+func matmulInt8Ref(w, rec []int8, out []float32, m, k, cols int, scales, bias []float32, relu bool) {
+	for i := 0; i < m; i++ {
+		wrow := w[i*k : (i+1)*k]
+		var bi float32
+		if bias != nil {
+			bi = bias[i]
+		}
+		for j := 0; j < cols; j++ {
+			rrow := rec[j*k : (j+1)*k]
+			var acc int32
+			for kk := range rrow {
+				acc += int32(wrow[kk]) * int32(rrow[kk])
+			}
+			out[i*cols+j] = requantInt8(acc, scales[i], bi, relu)
+		}
+	}
+}
+
+// QuantizeInt8Into quantizes src into dst with the symmetric multiplier
+// inv (typically 127 / calibrated maxabs): each element is scaled,
+// rounded half-away-from-zero, and clamped to [-127, 127]. The rounding
+// is a fixed per-element float32 expression, so results are
+// deterministic regardless of how callers split the work.
+func QuantizeInt8Into(dst []int8, src []float32, inv float32) {
+	if len(dst) != len(src) {
+		panic("tensor: QuantizeInt8Into length mismatch")
+	}
+	for i, v := range src {
+		f := v * inv
+		// Branchless half-away-from-zero: add ±0.5 with f's own sign
+		// bit, then truncate. Activation signs are effectively random,
+		// so an if/else here costs a mispredict per element.
+		half := math.Float32frombits(math.Float32bits(f)&0x80000000 | 0x3F000000)
+		q := int32(f + half)
+		if q > 127 {
+			q = 127
+		}
+		if q < -127 {
+			q = -127
+		}
+		dst[i] = int8(q)
+	}
+}

@@ -71,6 +71,13 @@ type Client struct {
 	// negative (the default) leaves the cache unbounded — the paper's
 	// Algorithm 1 behaviour.
 	CacheBudget int64
+	// NoInt8 keeps Play on the float32 enhancement path even for models
+	// whose manifest entry advertises int8 calibration (the precision
+	// ablation). The default serves every int8-gated model on the
+	// quantized kernels, armed with the origin's activation scales from
+	// the manifest (ModelInfo.ActScales) so client and origin produce
+	// bit-identical pixels.
+	NoInt8 bool
 
 	// Log receives request failures and per-segment debug lines; nil
 	// (the default) discards them — previously client errors were
@@ -501,6 +508,10 @@ type PlayStats struct {
 	VideoBytes     int
 	ModelBytes     int
 	Enhanced       int
+	// EnhancedInt8 counts the subset of Enhanced frames served on the
+	// int8 kernel path (models the manifest advertised as int8-gated,
+	// calibrated client-side from the manifest's activation scales).
+	EnhancedInt8 int
 	// DegradedSegments counts segments played without SR because their
 	// micro-model fetch ultimately failed (after the retry budget).
 	// Degraded labels are retried lazily on their next reference, so a
@@ -546,6 +557,17 @@ func (c *Client) PlayCtx(ctx context.Context, enhance bool) ([]*video.YUV, *Play
 		return nil, nil, err
 	}
 	stats := &PlayStats{}
+	// Activation scales of the models the origin's quality gate admitted
+	// to int8, keyed by label; a downloaded model with an entry here is
+	// calibrated before use so it runs on the quantized kernels.
+	int8Scales := map[int][]float32{}
+	if !c.NoInt8 {
+		for _, mi := range wm.Models {
+			if mi.Int8 && len(mi.ActScales) > 0 {
+				int8Scales[mi.Label] = mi.ActScales
+			}
+		}
+	}
 	// The byte-budgeted cache tracks serialized weights (the unit the
 	// budget is denominated in); models holds the deserialized twins and
 	// is pruned in lockstep via OnEvict.
@@ -595,6 +617,15 @@ func (c *Client) PlayCtx(ctx context.Context, enhance bool) ([]*video.YUV, *Play
 					c.Log.Warn("transport: model fetch failed; playing segment without SR",
 						"segment", seg.Index, "model", seg.ModelLabel, "err", err)
 				} else {
+					if sc, ok := int8Scales[seg.ModelLabel]; ok {
+						// A bad scale vector (origin/config mismatch) is not
+						// worth degrading over: the float32 path is always
+						// available.
+						if cerr := m.CalibrateFromScales(sc); cerr != nil {
+							c.Log.Warn("transport: int8 calibration rejected; model stays float32",
+								"model", seg.ModelLabel, "err", cerr)
+						}
+					}
 					models[seg.ModelLabel] = m
 					if evicted := mcache.Put(seg.ModelLabel, data); len(evicted) > 0 {
 						sp.Set("evicted", len(evicted))
@@ -620,8 +651,11 @@ func (c *Client) PlayCtx(ctx context.Context, enhance bool) ([]*video.YUV, *Play
 		dec := codec.Decoder{Mode: codec.PropagateDelta, Obs: c.Obs}
 		if model != nil {
 			m := model
-			dec.Enhancer = codec.EnhancerFunc(func(_ int, f *video.YUV) *video.YUV {
-				return m.EnhanceYUV(f)
+			dec.Enhancer = codec.PrecisionEnhancerFunc(func(_ int, f *video.YUV) (*video.YUV, codec.Precision) {
+				if m.Int8Ready() {
+					return m.EnhanceYUVInt8(f), codec.PrecisionInt8
+				}
+				return m.EnhanceYUV(f), codec.PrecisionFloat32
 			})
 		}
 		frames, err := dec.Decode(sub)
@@ -629,6 +663,7 @@ func (c *Client) PlayCtx(ctx context.Context, enhance bool) ([]*video.YUV, *Play
 			return nil, nil, fmt.Errorf("transport: decoding segment %d: %w", seg.Index, err)
 		}
 		stats.Enhanced += dec.Stats.Enhanced
+		stats.EnhancedInt8 += dec.Stats.EnhancedInt8
 		out = append(out, frames...)
 	}
 	stats.Evictions = mcache.Evictions

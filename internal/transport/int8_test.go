@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"testing"
+
+	"dcsr/internal/core"
+	"dcsr/internal/edsr"
+	"dcsr/internal/splitter"
+	"dcsr/internal/vae"
+	"dcsr/internal/video"
+)
+
+// int8Fixture prepares a clip with the quantize_int8 stage forced to
+// admit every cluster (unbounded PSNR drop), so the manifest advertises
+// int8 models with activation scales.
+var int8Fixture *core.Prepared
+
+func getInt8Fixture(t testing.TB) *core.Prepared {
+	t.Helper()
+	if int8Fixture == nil {
+		clip := video.Generate(video.GenConfig{
+			W: 80, H: 48, Seed: 23, NumScenes: 3, TotalCues: 6, MinFrames: 5, MaxFrames: 8,
+		})
+		prep, err := core.Prepare(clip.YUVFrames(), clip.FPS, core.ServerConfig{
+			QP:          51,
+			Split:       splitter.Config{Threshold: 14, MinLen: 3},
+			VAE:         vae.Config{ImgSize: 16, LatentDim: 4, BaseCh: 4},
+			VAETrain:    vae.TrainOptions{Epochs: 10, BatchSize: 4},
+			MicroConfig: edsr.Config{Filters: 4, ResBlocks: 1},
+			Train:       edsr.TrainOptions{Steps: 60, BatchSize: 2, PatchSize: 16},
+			Quant:       core.QuantConfig{Enabled: true, MaxPSNRDrop: 100},
+			Seed:        1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		int8Fixture = prep
+	}
+	return int8Fixture
+}
+
+func playOverPipe(t *testing.T, prep *core.Prepared, noInt8 bool) ([]*video.YUV, *PlayStats) {
+	t.Helper()
+	srv, err := NewServer(prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cconn, sconn := net.Pipe()
+	go func() { _ = srv.ServeConn(sconn) }()
+	defer cconn.Close()
+	defer sconn.Close()
+	client := NewClient(cconn)
+	client.NoInt8 = noInt8
+	out, stats, err := client.Play(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, stats
+}
+
+func framesEqual(a, b []*video.YUV) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Y, b[i].Y) || !bytes.Equal(a[i].U, b[i].U) || !bytes.Equal(a[i].V, b[i].V) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlayInt8OverWire pins the end-to-end quantized serving path: the
+// manifest carries the gate verdict and activation scales over the wire,
+// the client calibrates each downloaded model from them, and the decoded
+// pixels are bit-identical to a local int8 playback at the origin. The
+// NoInt8 ablation must reproduce the float32 pixels instead.
+func TestPlayInt8OverWire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the pipeline; skipped in short mode")
+	}
+	prep := getInt8Fixture(t)
+	for label, mi := range prep.Manifest.Models {
+		if !mi.Int8 || len(mi.ActScales) == 0 {
+			t.Fatalf("model %d: manifest entry not int8-armed: %+v", label, mi)
+		}
+	}
+
+	out, stats := playOverPipe(t, prep, false)
+	if stats.Enhanced == 0 || stats.EnhancedInt8 != stats.Enhanced {
+		t.Fatalf("int8 playback enhanced %d frames, %d on int8; want all on int8",
+			stats.Enhanced, stats.EnhancedInt8)
+	}
+	local := core.NewPlayer(prep)
+	ref, err := local.Play()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Decode.EnhancedInt8 != stats.EnhancedInt8 {
+		t.Fatalf("origin played %d int8 frames, wire client %d", ref.Decode.EnhancedInt8, stats.EnhancedInt8)
+	}
+	if !framesEqual(out, ref.Frames) {
+		t.Fatal("wire int8 playback differs from origin-local int8 playback")
+	}
+
+	outF, statsF := playOverPipe(t, prep, true)
+	if statsF.EnhancedInt8 != 0 {
+		t.Fatalf("NoInt8 client served %d frames on int8", statsF.EnhancedInt8)
+	}
+	if statsF.Enhanced != stats.Enhanced {
+		t.Fatalf("NoInt8 enhanced %d frames, int8 run %d", statsF.Enhanced, stats.Enhanced)
+	}
+	localF := core.NewPlayer(prep)
+	localF.Int8 = false
+	refF, err := localF.Play()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !framesEqual(outF, refF.Frames) {
+		t.Fatal("wire float32 playback differs from origin-local float32 playback")
+	}
+	if framesEqual(out, outF) {
+		t.Fatal("int8 and float32 playbacks produced identical pixels; quantization had no effect, test is vacuous")
+	}
+}

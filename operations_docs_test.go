@@ -50,8 +50,11 @@ func TestOperationsDocMetrics(t *testing.T) {
 		VAETrain:    vae.TrainOptions{Epochs: 10, BatchSize: 4},
 		MicroConfig: edsr.Config{Filters: 4, ResBlocks: 1},
 		Train:       edsr.TrainOptions{Steps: 60, BatchSize: 2, PatchSize: 16},
-		Seed:        1,
-		Obs:         o,
+		// Quant registers the int8 gate counters; the player below then
+		// registers the int8 enhance-latency window histogram.
+		Quant: core.QuantConfig{Enabled: true},
+		Seed:  1,
+		Obs:   o,
 	})
 	if err != nil {
 		t.Fatal(err)
