@@ -20,7 +20,11 @@ GO ?= go
 # concurrency) by name before the sweep. The int8 block pins the
 # quantized path: kernel↔reference parity, cross-worker bit
 # determinism under race, and the calibration quality gate actually
-# forcing a float32 fallback.
+# forcing a float32 fallback. The model-stream block pins the dcW5
+# delta codec round-trip, the delta_encode stage (client assembly
+# bit-identical, gate fallback), and the wire contract: backbone +
+# delta playback pixel-identical to origin, old↔new interop via the
+# full-model OpModel path, corruption falling back gracefully.
 verify: build vet lint
 	$(GO) test -run 'TestFixtures/(lockorder|lostcancel|atomicfield|errcmp|timerleak)' -v ./internal/lint/
 	$(GO) test -race -run 'TestRunnerDeterministic|TestRunnerCache' -v ./internal/lint/
@@ -32,6 +36,9 @@ verify: build vet lint
 	$(GO) test -run 'TestMuxInteropNewClientOldServer|TestMuxInteropOldClientNewServer' -v ./internal/transport/
 	$(GO) test -race -run 'TestAdmissionConcurrentLoad|TestRetryPolicyHonorsShedHint' -v ./internal/transport/
 	$(GO) test -run 'TestWindowedCounterRotationDeterminism' -v ./internal/obs/
+	$(GO) test -run 'TestDeltaRoundTripProperty|TestDeltaInt8Composition|TestDeltaWrongBackbone' -v ./internal/nn/
+	$(GO) test -run 'TestDeltaStageModelStream|TestDeltaGateForcesFallback' -v ./internal/core/
+	$(GO) test -run 'TestPlayModelStreamOverWire|TestModelStreamInterop|TestModelStreamCorruptionFallsBack' -v ./internal/transport/
 	$(GO) test -race -timeout 30m ./...
 
 build:
@@ -64,7 +71,9 @@ test:
 # admission control — p50/p99 per op, shed rate, Jain fairness; the
 # capacity-planning numbers docs/SERVING.md works from), and
 # BENCH_quant.json (int8 vs float32 Enhance speedup plus the
-# calibration quality-gate sweep over a prepared clip).
+# calibration quality-gate sweep over a prepared clip), and
+# BENCH_modelstream.json (backbone + delta shipping: model bytes per
+# session as a function of clusters touched, vs the full-model wire).
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkGEMM|BenchmarkConv2DInfer|BenchmarkIm2col' -benchmem ./internal/tensor/
 	$(GO) test -run '^$$' -bench 'BenchmarkEnhance(Int8)?(270|540)p|BenchmarkForwardInference' -benchmem ./internal/edsr/
@@ -73,6 +82,7 @@ bench:
 	$(GO) run ./cmd/dcsr-bench -fast -only cachebudget -json BENCH_cachebudget.json
 	$(GO) run ./cmd/dcsr-bench -fast -only swarm -json BENCH_swarm.json
 	$(GO) run ./cmd/dcsr-bench -fast -only quant -json BENCH_quant.json
+	$(GO) run ./cmd/dcsr-bench -fast -only modelstream -json BENCH_modelstream.json
 
 # Full evaluation-scale benchmark suite (minutes), including the 1080p
 # Enhance benchmark.

@@ -46,6 +46,7 @@ type jsonReport struct {
 	CacheBudget *experiments.CacheBudgetResult `json:"cachebudget,omitempty"`
 	Swarm       *experiments.SwarmResult       `json:"swarm,omitempty"`
 	Quant       *quantResult                   `json:"quant,omitempty"`
+	Modelstream *experiments.ModelstreamResult `json:"modelstream,omitempty"`
 	Metrics     obs.Snapshot                   `json:"metrics"`
 }
 
@@ -80,6 +81,7 @@ func main() {
 	var cacheBudgetRes *experiments.CacheBudgetResult
 	var swarmRes *experiments.SwarmResult
 	var quantRes *quantResult
+	var modelstreamRes *experiments.ModelstreamResult
 
 	var fig9 *experiments.Fig9Result
 	getFig9 := func() *experiments.Fig9Result {
@@ -217,6 +219,17 @@ func main() {
 				gate.Models-gate.Fallbacks, gate.Models, gate.FallbackRate*100,
 				gate.PSNRDelta, gate.EnhancedInt8, gate.Enhanced)
 		}},
+		{"modelstream", "backbone + delta model shipping: bytes/session vs clusters touched", func(c experiments.EvalConfig) {
+			t, r, err := experiments.ExperimentModelstream(c)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dcsr-bench: %v\n", err)
+				os.Exit(1)
+			}
+			modelstreamRes = r
+			fmt.Println(t)
+			fmt.Printf("model stream: %d/%d clusters shipped as deltas (backbone %d, %d fallbacks)\n\n",
+				r.DeltaModels, r.Models, r.BackboneLabel, r.Fallbacks)
+		}},
 		{"ablations", "VAE features / global k-means / split / propagation ablations", func(c experiments.EvalConfig) {
 			t1, _ := experiments.AblationFeatures(c)
 			fmt.Println(t1)
@@ -270,6 +283,7 @@ func main() {
 		report.CacheBudget = cacheBudgetRes
 		report.Swarm = swarmRes
 		report.Quant = quantRes
+		report.Modelstream = modelstreamRes
 		report.Metrics = cfg.Obs.Metrics.Snapshot()
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {

@@ -114,6 +114,10 @@ func main() {
 	fmt.Printf("downloaded: video %d B + models %d B = %d B (%d model downloads, %d cache hits)\n",
 		res.Session.VideoBytes, res.Session.ModelBytes, res.TotalBytes(),
 		res.Session.Downloads, res.Session.CacheHits)
+	if res.BackboneBytes > 0 || res.DeltaModelBytes > 0 {
+		fmt.Printf("model stream: backbone %d B + deltas %d B + full %d B\n",
+			res.BackboneBytes, res.DeltaModelBytes, res.FullModelBytes)
+	}
 	if res.Evictions > 0 {
 		fmt.Printf("cache budget %d B: %d evictions, %d B resident at end\n",
 			*cacheBudget, res.Evictions, res.CacheBytes)
@@ -284,6 +288,10 @@ func playFromNetwork(opt netOptions) {
 	fmt.Printf("streamed %d frames over %d segments from %s\n", len(frames), stats.Segments, opt.addr)
 	fmt.Printf("downloaded: video %d B + models %d B (%d model downloads, %d cache hits)\n",
 		stats.VideoBytes, stats.ModelBytes, stats.ModelDownloads, stats.CacheHits)
+	if stats.BackboneBytes > 0 || stats.DeltaModelBytes > 0 {
+		fmt.Printf("model stream: backbone %d B + deltas %d B + full %d B\n",
+			stats.BackboneBytes, stats.DeltaModelBytes, stats.FullModelBytes)
+	}
 	fmt.Printf("%d I frames enhanced in-loop (%d on the int8 path)\n",
 		stats.Enhanced, stats.EnhancedInt8)
 	if stats.Evictions > 0 {

@@ -32,6 +32,8 @@ func main() {
 	search := flag.Bool("search", false, "run the Appendix A.1 minimum-working-model search instead of -filters/-resblocks")
 	int8Flag := flag.Bool("int8", false, "calibrate each cluster model for int8 inference (quantize_int8 stage); clusters failing the quality gate stay float32")
 	int8Bound := flag.Float64("int8-psnr-bound", 0, "max PSNR drop (dB) the int8 quality gate tolerates; 0 uses the default 0.5")
+	deltaFlag := flag.Bool("delta", false, "delta-encode cluster models against a shared backbone (delta_encode stage); clusters failing the size or quality gate ship complete")
+	deltaBound := flag.Float64("delta-psnr-bound", 0, "max PSNR drop (dB) the delta quality gate tolerates; 0 uses the default 0.5")
 	flag.Parse()
 
 	if *out == "" {
@@ -70,6 +72,9 @@ func main() {
 	if *int8Flag {
 		cfg.Quant = core.QuantConfig{Enabled: true, MaxPSNRDrop: *int8Bound}
 	}
+	if *deltaFlag {
+		cfg.Delta = core.DeltaConfig{Enabled: true, MaxPSNRDrop: *deltaBound}
+	}
 
 	prep, err := core.Prepare(clip.YUVFrames(), clip.FPS, cfg)
 	if err != nil {
@@ -89,6 +94,19 @@ func main() {
 			fmt.Printf("    int8 gate: f32 %.2f dB vs int8 %.2f dB -> %s\n",
 				sm.Quant.PSNRFloat32, sm.Quant.PSNRInt8, verdict)
 		}
+		if sm.Delta != nil {
+			if sm.Delta.DeltaOK {
+				fmt.Printf("    delta gate: %d B delta vs %d B full (backbone %d, %.2f dB vs %.2f dB) -> delta\n",
+					sm.Delta.DeltaBytes, sm.Delta.FullBytes, sm.Delta.BackboneLabel,
+					sm.Delta.PSNRFull, sm.Delta.PSNRDelta)
+			} else {
+				fmt.Printf("    delta gate: %d B delta vs %d B full -> full fallback\n",
+					sm.Delta.DeltaBytes, sm.Delta.FullBytes)
+			}
+		}
+	}
+	if bb := prep.Manifest.Backbone; bb != nil {
+		fmt.Printf("model stream: backbone is cluster %d (%d bytes)\n", bb.Label, bb.Bytes)
 	}
 	if err := prep.Save(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "dcsr-prepare: saving: %v\n", err)

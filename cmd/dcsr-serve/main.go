@@ -59,6 +59,7 @@ func main() {
 	qp := flag.Int("qp", 51, "encoder QP for -genre mode")
 	steps := flag.Int("steps", 300, "training steps for -genre mode")
 	int8Flag := flag.Bool("int8", false, "for -genre mode: run the quantize_int8 calibration stage so gated clusters serve on the int8 kernels (artifacts from dcsr-prepare -int8 carry this through -in already)")
+	deltaFlag := flag.Bool("delta", false, "for -genre mode: run the delta_encode stage so gated clusters ship as backbone + dcW5 deltas (artifacts from dcsr-prepare -delta carry this through -in already)")
 	obsAddr := flag.String("obs-addr", "", "debug HTTP sidecar address for /metrics, /debug/trace and pprof (off when empty)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint directory for -genre mode: an interrupted Prepare resumes from its last completed stage on restart")
 	maxInflight := flag.Int("max-inflight", 0, "admission control: concurrently served requests across all connections; excess load is shed with a typed retry-after (0 = unlimited)")
@@ -154,6 +155,7 @@ func main() {
 				MicroConfig:   edsr.Config{Filters: 8, ResBlocks: 2},
 				Train:         edsr.TrainOptions{Steps: *steps, BatchSize: 2, PatchSize: 16},
 				Quant:         core.QuantConfig{Enabled: *int8Flag},
+				Delta:         core.DeltaConfig{Enabled: *deltaFlag},
 				Seed:          cseed,
 				CheckpointDir: cp,
 				Obs:           o,

@@ -44,6 +44,25 @@ type ckptCluster struct {
 	Sweeps []cluster.Sweep `json:"sweeps,omitempty"`
 }
 
+// ckptDelta records one cluster's delta_encode verdict. When the delta
+// was adopted, Delta and Model are store digests of the dcW5 payload and
+// of the reconstructed canonical weights (which replace the trained ones
+// on restore, keeping origin and client bit-identical).
+type ckptDelta struct {
+	OK         bool    `json:"ok"`
+	Delta      string  `json:"delta,omitempty"`
+	Model      string  `json:"model,omitempty"`
+	PSNRFull   float64 `json:"psnr_full,omitempty"`
+	PSNRDelta  float64 `json:"psnr_delta,omitempty"`
+	FullBytes  int     `json:"full_bytes,omitempty"`
+	DeltaBytes int     `json:"delta_bytes,omitempty"`
+}
+
+type ckptDeltaStage struct {
+	Backbone int                `json:"backbone"`
+	Entries  map[int]*ckptDelta `json:"entries"`
+}
+
 type ckptState struct {
 	Version     int                `json:"version"`
 	InputDigest string             `json:"input_digest"`
@@ -52,6 +71,7 @@ type ckptState struct {
 	Micro       *edsr.Config       `json:"micro,omitempty"`
 	Cluster     *ckptCluster       `json:"cluster,omitempty"`
 	Models      map[int]*ckptModel `json:"models,omitempty"`
+	Delta       *ckptDeltaStage    `json:"delta,omitempty"`
 }
 
 // checkpoint persists per-stage pipeline results so an interrupted
@@ -265,6 +285,50 @@ func (ck *checkpoint) putModel(sm *SegmentModel) error {
 		FinalLoss: sm.Train.FinalLoss, TrainFLOPs: sm.Train.TrainFLOPs,
 	}
 	return ck.flushLocked()
+}
+
+// delta returns the checkpointed delta_encode stage outcome, if any.
+func (ck *checkpoint) delta() (*ckptDeltaStage, bool) {
+	if ck == nil {
+		return nil, false
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.state.Delta, ck.state.Delta != nil
+}
+
+// putDelta checkpoints the whole delta_encode stage at once (the stage is
+// cheap relative to training, so per-cluster granularity buys nothing).
+func (ck *checkpoint) putDelta(st *ckptDeltaStage) error {
+	if ck == nil {
+		return nil
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	ck.state.Delta = st
+	return ck.flushLocked()
+}
+
+// putObject stores an opaque payload in the content-addressed store and
+// returns its digest string; a nil checkpoint returns "".
+func (ck *checkpoint) putObject(data []byte) (string, error) {
+	if ck == nil {
+		return "", nil
+	}
+	d, err := ck.store.Put(data)
+	if err != nil {
+		return "", err
+	}
+	return d.String(), nil
+}
+
+// getObject fetches a payload stored with putObject.
+func (ck *checkpoint) getObject(digest string) ([]byte, error) {
+	d, err := modelstore.ParseDigest(digest)
+	if err != nil {
+		return nil, err
+	}
+	return ck.store.Get(d)
 }
 
 // prepareInputDigest fingerprints everything that determines the pipeline

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+
+	"dcsr/internal/edsr"
+	"dcsr/internal/nn"
+	"dcsr/internal/obs"
+	"dcsr/internal/video"
+)
+
+// DeltaConfig parameterizes the optional delta_encode stage (the model
+// stream of SRVC applied to dcSR's per-cluster models). The stage runs
+// right after training: it picks a shared backbone — the model of the
+// cluster covering the most segments, the "centroid" of the video — and
+// re-expresses every other cluster model as a dcW5 delta against it.
+// Each delta passes a size gate (it must actually be smaller than the
+// full encoding) and a quality gate (the reconstruction, which becomes
+// the model's canonical weights, must enhance the cluster's own frames
+// within MaxPSNRDrop of the originally trained weights); clusters
+// failing either gate keep their full encoding, exactly like the int8
+// stage's float32 fallback.
+type DeltaConfig struct {
+	// Enabled turns the stage on; false (the default) skips it entirely
+	// and the pipeline output is bit-identical to the pre-delta
+	// behaviour.
+	Enabled bool
+	// MaxPSNRDrop is the quality gate in dB: a cluster whose
+	// delta-reconstructed model scores more than this below its
+	// originally trained model (on the cluster's own frames, against the
+	// pristine originals) ships complete instead. Default 0.5.
+	MaxPSNRDrop float64
+	// MaxFrames caps the gate frames per cluster (the first N of the
+	// cluster's I-frame pairs). Default 4.
+	MaxFrames int
+}
+
+func (d DeltaConfig) withDefaults() DeltaConfig {
+	if d.MaxPSNRDrop == 0 {
+		d.MaxPSNRDrop = 0.5
+	}
+	if d.MaxFrames == 0 {
+		d.MaxFrames = 4
+	}
+	return d
+}
+
+// DeltaResult records the delta-encoding verdict for one cluster model.
+type DeltaResult struct {
+	// DeltaOK reports the gate decision: true means the model ships as a
+	// delta and the manifest advertises it against the backbone.
+	DeltaOK bool
+	// BackboneLabel is the cluster whose model the delta is encoded
+	// against (shared by every delta of the video).
+	BackboneLabel int
+	// Bytes is the dcW5 delta payload; nil when DeltaOK is false.
+	Bytes []byte
+	// PSNRFull and PSNRDelta are the gate measurements in dB: the
+	// trained weights versus the delta reconstruction on the cluster's
+	// frames.
+	PSNRFull  float64
+	PSNRDelta float64
+	// FullBytes and DeltaBytes are the two candidate payload sizes the
+	// size gate compared.
+	FullBytes  int
+	DeltaBytes int
+}
+
+// payloadDigest is the hex SHA-256 manifests use to identify model
+// payloads end-to-end (stream.BackboneInfo.Digest, ModelInfo.Digest).
+func payloadDigest(data []byte) string {
+	d := sha256.Sum256(data)
+	return hex.EncodeToString(d[:])
+}
+
+// pickBackboneLabel chooses the shared backbone: the model of the
+// cluster with the most assigned segments, ties broken toward the lowest
+// label so the choice is deterministic.
+func pickBackboneLabel(p *Prepared) int {
+	counts := make(map[int]int)
+	for _, a := range p.Assign {
+		counts[a]++
+	}
+	best := -1
+	for label := 0; label < p.K; label++ {
+		if p.Models[label] == nil {
+			continue
+		}
+		if best < 0 || counts[label] > counts[best] {
+			best = label
+		}
+	}
+	return best
+}
+
+// stageDeltaEncode re-expresses every cluster model as a dcW5 delta
+// against the shared backbone, subject to the size and quality gates
+// (DeltaConfig). Models that pass adopt the delta reconstruction as
+// their canonical weights — so a client assembling backbone + delta runs
+// bit-identical weights to the origin — and ship their delta payload on
+// the wire; models that fail keep their full encoding. Skipped unless
+// cfg.Delta.Enabled. Counters: delta_models_total (clusters shipping as
+// deltas), delta_fallback_total (clusters gated back to full encoding).
+func stageDeltaEncode(ctx context.Context, sp *obs.Span, s *prepState) error {
+	o := s.cfg.Obs
+	okCtr := o.Counter("delta_models_total")
+	fbCtr := o.Counter("delta_fallback_total")
+	dc := s.cfg.Delta
+	p := s.p
+	if len(p.Models) < 2 {
+		sp.Set("skipped", "single model")
+		s.log.Info("prepare: delta encoding skipped", "models", len(p.Models))
+		return nil
+	}
+	if ok, err := restoreDeltaStage(s); err != nil {
+		return err
+	} else if ok {
+		sp.Set("checkpoint", true)
+		countDeltaVerdicts(p, sp, okCtr, fbCtr)
+		return nil
+	}
+	bb := pickBackboneLabel(p)
+	bsm := p.Models[bb]
+	err := forEach(ctx, p.K, runtime.GOMAXPROCS(0), func(label int) error {
+		sm := p.Models[label]
+		if sm == nil || label == bb {
+			return nil
+		}
+		delta, err := nn.EncodeWeightsDelta(bsm.Model.Params(), sm.Model.Params())
+		if err != nil {
+			return fmt.Errorf("core: delta-encoding cluster %d: %w", label, err)
+		}
+		res := &DeltaResult{BackboneLabel: bb, FullBytes: len(sm.Bytes), DeltaBytes: len(delta)}
+		sm.Delta = res
+		if len(delta) >= len(sm.Bytes) {
+			return nil // size gate: the delta isn't smaller, ship complete
+		}
+		recon, err := edsr.New(sm.Config, 0)
+		if err != nil {
+			return err
+		}
+		if err := nn.ApplyWeightsDelta(bsm.Model.Params(), delta, recon.Params()); err != nil {
+			return fmt.Errorf("core: reconstructing cluster %d: %w", label, err)
+		}
+		var low, orig []*video.RGB
+		for si, a := range p.Assign {
+			if a == label && len(low) < dc.MaxFrames {
+				low = append(low, p.LowIFrames[si])
+				orig = append(orig, p.OrigIFrames[si])
+			}
+		}
+		var mseFull, mseDelta float64
+		for i := range low {
+			mseFull += frameMSE(sm.Model.Enhance(low[i]), orig[i])
+			mseDelta += frameMSE(recon.Enhance(low[i]), orig[i])
+		}
+		if len(low) > 0 {
+			res.PSNRFull = mseToPSNR(mseFull / float64(len(low)))
+			res.PSNRDelta = mseToPSNR(mseDelta / float64(len(low)))
+			if res.PSNRFull-res.PSNRDelta > dc.MaxPSNRDrop {
+				return nil // quality gate: reconstruction lost too much
+			}
+		}
+		// Adopt: the reconstruction becomes the canonical model, so origin
+		// playback and client assembly are bit-identical by construction.
+		res.DeltaOK = true
+		res.Bytes = delta
+		sm.Model = recon
+		sm.Bytes = nn.EncodeWeights(recon.Params())
+		res.FullBytes = len(sm.Bytes)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if err := checkpointDeltaStage(s, bb); err != nil {
+		return err
+	}
+	countDeltaVerdicts(p, sp, okCtr, fbCtr)
+	return nil
+}
+
+// countDeltaVerdicts tallies gate outcomes into counters, the stage span
+// and the log (shared by the compute and checkpoint-restore paths).
+func countDeltaVerdicts(p *Prepared, sp *obs.Span, okCtr, fbCtr *obs.Counter) {
+	var passed, fallbacks int
+	for _, sm := range p.Models {
+		switch {
+		case sm.Delta == nil:
+		case sm.Delta.DeltaOK:
+			passed++
+		default:
+			fallbacks++
+		}
+	}
+	okCtr.Add(int64(passed))
+	fbCtr.Add(int64(fallbacks))
+	sp.Set("delta_models", passed)
+	sp.Set("fallbacks", fallbacks)
+}
+
+// checkpointDeltaStage persists the stage outcome: verdicts inline,
+// delta payloads and adopted reconstructions in the content-addressed
+// store.
+func checkpointDeltaStage(s *prepState, bb int) error {
+	if s.ck == nil {
+		return nil
+	}
+	st := &ckptDeltaStage{Backbone: bb, Entries: map[int]*ckptDelta{}}
+	for label, sm := range s.p.Models {
+		if sm.Delta == nil {
+			continue
+		}
+		rec := &ckptDelta{
+			OK: sm.Delta.DeltaOK, PSNRFull: sm.Delta.PSNRFull, PSNRDelta: sm.Delta.PSNRDelta,
+			FullBytes: sm.Delta.FullBytes, DeltaBytes: sm.Delta.DeltaBytes,
+		}
+		if sm.Delta.DeltaOK {
+			dd, err := s.ck.putObject(sm.Delta.Bytes)
+			if err != nil {
+				return err
+			}
+			md, err := s.ck.putObject(sm.Bytes)
+			if err != nil {
+				return err
+			}
+			rec.Delta, rec.Model = dd, md
+		}
+		st.Entries[label] = rec
+	}
+	return s.ck.putDelta(st)
+}
+
+// restoreDeltaStage rebuilds the stage outcome from a checkpoint:
+// verdicts, delta payloads, and — for adopted deltas — the reconstructed
+// canonical weights replacing the freshly trained ones.
+func restoreDeltaStage(s *prepState) (bool, error) {
+	st, ok := s.ck.delta()
+	if !ok {
+		return false, nil
+	}
+	p := s.p
+	for label, rec := range st.Entries {
+		sm := p.Models[label]
+		if sm == nil {
+			return false, fmt.Errorf("core: checkpointed delta for unknown model %d", label)
+		}
+		sm.Delta = &DeltaResult{
+			DeltaOK: rec.OK, BackboneLabel: st.Backbone,
+			PSNRFull: rec.PSNRFull, PSNRDelta: rec.PSNRDelta,
+			FullBytes: rec.FullBytes, DeltaBytes: rec.DeltaBytes,
+		}
+		if !rec.OK {
+			continue
+		}
+		payload, err := s.ck.getObject(rec.Delta)
+		if err != nil {
+			return false, fmt.Errorf("core: checkpointed delta %d: %w", label, err)
+		}
+		weights, err := s.ck.getObject(rec.Model)
+		if err != nil {
+			return false, fmt.Errorf("core: checkpointed delta model %d: %w", label, err)
+		}
+		m, err := edsr.New(sm.Config, 0)
+		if err != nil {
+			return false, err
+		}
+		if err := nn.LoadWeights(bytes.NewReader(weights), m.Params()); err != nil {
+			return false, fmt.Errorf("core: checkpointed delta model %d: %w", label, err)
+		}
+		sm.Delta.Bytes = payload
+		sm.Model = m
+		sm.Bytes = weights
+	}
+	return true, nil
+}
+
+// WireBytes returns the payload a client downloads for this model: the
+// dcW5 delta when the model ships as one, the full weights otherwise.
+func (sm *SegmentModel) WireBytes() []byte {
+	if sm.Delta != nil && sm.Delta.DeltaOK {
+		return sm.Delta.Bytes
+	}
+	return sm.Bytes
+}
+
+// WithoutDelta returns a copy of p whose models all ship complete — the
+// same canonical weights with the delta verdicts stripped and the
+// manifest rebuilt. The modelstream bench uses it as the "today" control
+// arm: identical playback, full-model downloads.
+func (p *Prepared) WithoutDelta() *Prepared {
+	cp := *p
+	cp.Models = make(map[int]*SegmentModel, len(p.Models))
+	for label, sm := range p.Models {
+		c := *sm
+		c.Delta = nil
+		cp.Models[label] = &c
+	}
+	cp.Manifest = buildManifest(&cp)
+	return &cp
+}
+
+// backboneLabel returns the label of the shared backbone advertised by
+// the delta verdicts, or -1 when no model ships as a delta.
+func (p *Prepared) backboneLabel() int {
+	for label := 0; label < p.K; label++ {
+		sm := p.Models[label]
+		if sm != nil && sm.Delta != nil && sm.Delta.DeltaOK {
+			return sm.Delta.BackboneLabel
+		}
+	}
+	return -1
+}

@@ -36,6 +36,11 @@ type metaFile struct {
 	// so a loaded artifact serves int8 bit-identically to the preparing
 	// process without redoing calibration.
 	Quant []quantMeta `json:"quant,omitempty"`
+	// Delta holds the per-cluster delta_encode verdicts (absent for
+	// artifacts prepared without the stage). Models with DeltaOK also have
+	// their dcW5 payload in models/N.delta.bin; N.bin always holds the
+	// complete canonical weights, so old readers keep working.
+	Delta []deltaMeta `json:"delta,omitempty"`
 }
 
 type quantMeta struct {
@@ -44,6 +49,16 @@ type quantMeta struct {
 	PSNRFloat32 float64   `json:"psnr_float32"`
 	PSNRInt8    float64   `json:"psnr_int8"`
 	ActScales   []float32 `json:"act_scales,omitempty"`
+}
+
+type deltaMeta struct {
+	Label         int     `json:"label"`
+	DeltaOK       bool    `json:"delta_ok"`
+	BackboneLabel int     `json:"backbone_label"`
+	PSNRFull      float64 `json:"psnr_full,omitempty"`
+	PSNRDelta     float64 `json:"psnr_delta,omitempty"`
+	FullBytes     int     `json:"full_bytes,omitempty"`
+	DeltaBytes    int     `json:"delta_bytes,omitempty"`
 }
 
 // Save writes the prepared stream, manifest metadata and micro models to
@@ -73,6 +88,17 @@ func (p *Prepared) Save(dir string) error {
 			ActScales: sm.Quant.ActScales,
 		})
 	}
+	for _, label := range labels {
+		sm := p.Models[label]
+		if sm.Delta == nil {
+			continue
+		}
+		meta.Delta = append(meta.Delta, deltaMeta{
+			Label: label, DeltaOK: sm.Delta.DeltaOK, BackboneLabel: sm.Delta.BackboneLabel,
+			PSNRFull: sm.Delta.PSNRFull, PSNRDelta: sm.Delta.PSNRDelta,
+			FullBytes: sm.Delta.FullBytes, DeltaBytes: sm.Delta.DeltaBytes,
+		})
+	}
 	mj, err := json.MarshalIndent(meta, "", "  ")
 	if err != nil {
 		return err
@@ -87,6 +113,12 @@ func (p *Prepared) Save(dir string) error {
 		name := filepath.Join(dir, "models", fmt.Sprintf("%d.bin", label))
 		if err := os.WriteFile(name, sm.Bytes, 0o644); err != nil {
 			return err
+		}
+		if sm.Delta != nil && sm.Delta.DeltaOK {
+			name := filepath.Join(dir, "models", fmt.Sprintf("%d.delta.bin", label))
+			if err := os.WriteFile(name, sm.Delta.Bytes, 0o644); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -152,6 +184,24 @@ func Load(dir string) (*Prepared, error) {
 			if err := sm.Model.CalibrateFromScales(qm.ActScales); err != nil {
 				return nil, fmt.Errorf("core: re-arming int8 model %d: %w", qm.Label, err)
 			}
+		}
+	}
+	for _, dm := range meta.Delta {
+		sm, ok := p.Models[dm.Label]
+		if !ok {
+			return nil, fmt.Errorf("core: delta metadata references unknown model %d", dm.Label)
+		}
+		sm.Delta = &DeltaResult{
+			DeltaOK: dm.DeltaOK, BackboneLabel: dm.BackboneLabel,
+			PSNRFull: dm.PSNRFull, PSNRDelta: dm.PSNRDelta,
+			FullBytes: dm.FullBytes, DeltaBytes: dm.DeltaBytes,
+		}
+		if dm.DeltaOK {
+			payload, err := os.ReadFile(filepath.Join(dir, "models", fmt.Sprintf("%d.delta.bin", dm.Label)))
+			if err != nil {
+				return nil, fmt.Errorf("core: delta payload for model %d: %w", dm.Label, err)
+			}
+			sm.Delta.Bytes = payload
 		}
 	}
 	p.Manifest = buildManifest(p)

@@ -26,6 +26,13 @@ type PlayResult struct {
 	CacheMisses int
 	// ModelBytes is the total micro-model download volume.
 	ModelBytes int
+	// BackboneBytes, DeltaModelBytes and FullModelBytes break ModelBytes
+	// down for model-stream manifests: the shared backbone (paid once),
+	// the per-cluster dcW5 deltas, and models shipped complete. For
+	// manifests without a backbone everything lands in FullModelBytes.
+	BackboneBytes   int
+	DeltaModelBytes int
+	FullModelBytes  int
 	// Evictions counts models evicted from the byte-budgeted cache; each
 	// evicted label is re-downloaded on its next reference.
 	Evictions int
@@ -125,7 +132,10 @@ func (pl *Player) Play() (*PlayResult, error) {
 			}
 		}
 		if sm, ok := p.Models[label]; ok {
-			return sm.Bytes, nil
+			// The download unit: the dcW5 delta for delta-shipped models,
+			// the full weights otherwise — so the byte-budgeted cache holds
+			// exactly what a real client would keep.
+			return sm.WireBytes(), nil
 		}
 		return nil, nil
 	}
@@ -182,5 +192,7 @@ func (pl *Player) Play() (*PlayResult, error) {
 		CacheHits: sess.CacheHits, CacheMisses: sess.CacheMisses,
 		ModelBytes: sess.ModelBytes, DegradedSegments: sess.DegradedSegments,
 		Evictions: sess.Evictions(), CacheBytes: sess.CacheBytes(),
+		BackboneBytes: sess.BackboneBytes, DeltaModelBytes: sess.DeltaModelBytes,
+		FullModelBytes: sess.FullModelBytes,
 	}, nil
 }

@@ -66,6 +66,11 @@ type ServerConfig struct {
 	// per-cluster quality gate; the zero value disables it.
 	Quant QuantConfig
 
+	// Delta configures the optional delta_encode stage (the model stream:
+	// one shared backbone plus per-cluster dcW5 deltas); the zero value
+	// disables it.
+	Delta DeltaConfig
+
 	Seed int64
 
 	// CheckpointDir, when non-empty, persists each completed pipeline
@@ -94,6 +99,7 @@ func (c ServerConfig) withDefaults() ServerConfig {
 		c.MinPSNRGap = 1.0
 	}
 	c.Quant = c.Quant.withDefaults()
+	c.Delta = c.Delta.withDefaults()
 	return c
 }
 
@@ -107,6 +113,9 @@ type SegmentModel struct {
 	// Quant is the int8 calibration outcome; nil when the quantize_int8
 	// stage did not run for this model.
 	Quant *QuantResult
+	// Delta is the delta_encode outcome; nil when the stage did not run
+	// for this model (it stays nil on the backbone itself).
+	Delta *DeltaResult
 }
 
 // Prepared is the output of the server pipeline: everything a client needs
@@ -209,11 +218,29 @@ func buildManifest(p *Prepared) *stream.Manifest {
 			Index: i, Start: s.Start, End: s.End, Bytes: segBytes[i], ModelLabel: label,
 		})
 	}
+	if bb := p.backboneLabel(); bb >= 0 {
+		bsm := p.Models[bb]
+		man.Backbone = &stream.BackboneInfo{
+			Label: bb, Digest: payloadDigest(bsm.Bytes), Bytes: len(bsm.Bytes),
+		}
+	}
 	for label, sm := range p.Models {
 		mi := stream.ModelInfo{Label: label, Bytes: len(sm.Bytes)}
 		if sm.Quant != nil && sm.Quant.Int8OK {
 			mi.Int8 = true
 			mi.ActScales = sm.Quant.ActScales
+		}
+		if sm.Delta != nil && sm.Delta.DeltaOK && man.Backbone != nil {
+			// Delta-shipped model: Bytes is what travels on the wire (the
+			// dcW5 payload); FullBytes and Digest describe the assembled
+			// weights the client verifies before arming.
+			mi.Delta = true
+			mi.BackboneDigest = man.Backbone.Digest
+			mi.Digest = payloadDigest(sm.Bytes)
+			mi.FullBytes = len(sm.Bytes)
+			mi.Bytes = len(sm.Delta.Bytes)
+		} else if man.Backbone != nil && label == man.Backbone.Label {
+			mi.Digest = man.Backbone.Digest
 		}
 		man.Models[label] = mi
 	}

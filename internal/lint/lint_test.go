@@ -42,6 +42,13 @@ func TestFixtures(t *testing.T) {
 				"fetches_window_total": true, "rtt_window_seconds": true,
 				"quant_int8_models_total": true, "quant_fallback_total": true,
 				"codec_enhance_int8_window_seconds": true,
+				"modelstream_backbone_fetch_total":  true,
+				"modelstream_delta_bytes_total":     true,
+				"modelstream_fallback_total":        true,
+				"delta_models_total":                true,
+				"delta_fallback_total":              true,
+				"modelstore_chunk_puts_total":       true,
+				"modelstore_chunk_hits_total":       true,
 			}}}
 		}},
 		{"nodeterm", func(path string) []Analyzer {

@@ -1,0 +1,164 @@
+package modelstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"dcsr/internal/obs"
+)
+
+// Chunk-level content addressing. Whole-payload dedupe only collapses
+// byte-identical models; the model-stream representation (shared backbone
+// + per-cluster deltas, see internal/nn's dcW5 format) wants something
+// finer — the backbone's bytes stored once however many videos reference
+// it, and deltas that share runs of residuals deduping partially.
+// PutChunked splits a payload into content-defined chunks (a gear-hash
+// rolling boundary, so a local edit reshuffles at most the chunks it
+// touches) and stores each chunk as an ordinary content-addressed object,
+// plus one small "recipe" object listing the chunk digests:
+//
+//	magic 'dcC1' (4 bytes)
+//	payload digest (32 bytes) — SHA-256 of the assembled payload
+//	chunk count (uint32)
+//	chunk digests (32 bytes each)
+//
+// The recipe's own digest is the handle callers keep; GetChunked follows
+// it, reassembles, and verifies the embedded payload digest end-to-end.
+
+const (
+	chunkMin  = 512
+	chunkMax  = 8192
+	chunkMask = 0x7FF // boundary when the rolling hash's low 11 bits clear: ~2 KiB average
+)
+
+var chunkMagic = [4]byte{'d', 'c', 'C', '1'}
+
+// gearTable drives the rolling hash. It is filled deterministically from
+// a splitmix64 sequence so chunk boundaries — and therefore every chunk
+// digest — are stable across processes and platforms.
+var gearTable = func() [256]uint64 {
+	var t [256]uint64
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range t {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		t[i] = z ^ (z >> 31)
+	}
+	return t
+}()
+
+// SplitChunks cuts data into content-defined chunks between chunkMin and
+// chunkMax bytes (the final chunk may be shorter). The slices alias data.
+func SplitChunks(data []byte) [][]byte {
+	var out [][]byte
+	for len(data) > 0 {
+		n := nextBoundary(data)
+		out = append(out, data[:n])
+		data = data[n:]
+	}
+	return out
+}
+
+// nextBoundary returns the length of the first chunk of data.
+func nextBoundary(data []byte) int {
+	if len(data) <= chunkMin {
+		return len(data)
+	}
+	limit := chunkMax
+	if len(data) < limit {
+		limit = len(data)
+	}
+	var h uint64
+	for i := 0; i < limit; i++ {
+		h = h<<1 + gearTable[data[i]]
+		if i >= chunkMin && h&chunkMask == 0 {
+			return i + 1
+		}
+	}
+	return limit
+}
+
+// storeObs returns the Obs registry attached to a known backend, so the
+// chunk helpers can count dedupe hits; nil (no instrumentation) otherwise.
+func storeObs(s Store) *obs.Obs {
+	switch b := s.(type) {
+	case *Mem:
+		return b.Obs
+	case *Disk:
+		return b.Obs
+	}
+	return nil
+}
+
+// PutChunked stores data as content-defined chunks plus a recipe object
+// and returns the recipe's digest — the handle to pass to GetChunked.
+// Chunks already present in the store (the backbone referenced by a
+// second video, a run of residuals two deltas share) are deduped and
+// counted as modelstore_chunk_hits_total; fresh chunks count toward
+// modelstore_chunk_puts_total.
+func PutChunked(s Store, data []byte) (Digest, error) {
+	o := storeObs(s)
+	chunks := SplitChunks(data)
+	var recipe bytes.Buffer
+	//lint:allow errcheck bytes.Buffer.Write is documented to always return a nil error
+	recipe.Write(chunkMagic[:])
+	payload := DigestOf(data)
+	//lint:allow errcheck bytes.Buffer.Write is documented to always return a nil error
+	recipe.Write(payload[:])
+	if err := binary.Write(&recipe, binary.LittleEndian, uint32(len(chunks))); err != nil {
+		return Digest{}, err
+	}
+	for _, c := range chunks {
+		if s.Has(DigestOf(c)) {
+			o.Counter("modelstore_chunk_hits_total").Inc()
+		} else {
+			o.Counter("modelstore_chunk_puts_total").Inc()
+		}
+		d, err := s.Put(c)
+		if err != nil {
+			return Digest{}, err
+		}
+		//lint:allow errcheck bytes.Buffer.Write is documented to always return a nil error
+		recipe.Write(d[:])
+	}
+	return s.Put(recipe.Bytes())
+}
+
+// GetChunked follows a recipe digest, reassembles the payload from its
+// chunks, and verifies the embedded end-to-end digest. A missing chunk
+// surfaces as the store's os.ErrNotExist; a reassembly that does not hash
+// to the recorded payload digest is rejected.
+func GetChunked(s Store, recipe Digest) ([]byte, error) {
+	rb, err := s.Get(recipe)
+	if err != nil {
+		return nil, err
+	}
+	const header = 4 + 32 + 4
+	if len(rb) < header || [4]byte(rb[:4]) != chunkMagic {
+		return nil, fmt.Errorf("modelstore: object %s is not a chunk recipe", recipe)
+	}
+	var payload Digest
+	copy(payload[:], rb[4:36])
+	count := binary.LittleEndian.Uint32(rb[36:40])
+	if len(rb) != header+int(count)*32 {
+		return nil, fmt.Errorf("modelstore: recipe %s malformed (%d chunks, %d bytes)", recipe, count, len(rb))
+	}
+	var out []byte
+	for i := 0; i < int(count); i++ {
+		var cd Digest
+		copy(cd[:], rb[header+32*i:])
+		chunk, err := s.Get(cd)
+		if err != nil {
+			return nil, fmt.Errorf("modelstore: recipe %s chunk %d: %w", recipe, i, err)
+		}
+		out = append(out, chunk...)
+	}
+	if DigestOf(out) != payload {
+		return nil, fmt.Errorf("modelstore: recipe %s reassembly digest mismatch: %w", recipe, os.ErrNotExist)
+	}
+	return out, nil
+}

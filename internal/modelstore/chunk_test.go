@@ -1,0 +1,231 @@
+package modelstore
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dcsr/internal/obs"
+)
+
+func randPayload(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(256))
+	}
+	return out
+}
+
+func TestSplitChunksDeterministicAndBounded(t *testing.T) {
+	data := randPayload(1, 50_000)
+	a, b := SplitChunks(data), SplitChunks(data)
+	if len(a) != len(b) {
+		t.Fatalf("two splits disagree: %d vs %d chunks", len(a), len(b))
+	}
+	var total int
+	for i, c := range a {
+		if !bytes.Equal(c, b[i]) {
+			t.Fatalf("chunk %d differs between splits", i)
+		}
+		if len(c) > chunkMax {
+			t.Fatalf("chunk %d is %d bytes, above max %d", i, len(c), chunkMax)
+		}
+		if i < len(a)-1 && len(c) < chunkMin {
+			t.Fatalf("non-final chunk %d is %d bytes, below min %d", i, len(c), chunkMin)
+		}
+		total += len(c)
+	}
+	if total != len(data) {
+		t.Fatalf("chunks cover %d of %d bytes", total, len(data))
+	}
+	if len(a) < 3 {
+		t.Fatalf("50 KB split into only %d chunks; boundaries not firing", len(a))
+	}
+	if got := SplitChunks(nil); got != nil {
+		t.Fatalf("empty payload split into %d chunks", len(got))
+	}
+}
+
+func TestPutGetChunkedRoundTrip(t *testing.T) {
+	for name, s := range storeBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			payload := randPayload(2, 30_000)
+			recipe, err := PutChunked(s, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := GetChunked(s, recipe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatal("chunked round trip corrupted the payload")
+			}
+			// Idempotent: a second put returns the same recipe digest.
+			again, err := PutChunked(s, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != recipe {
+				t.Fatalf("re-put recipe %s, want %s", again, recipe)
+			}
+			if _, err := GetChunked(s, DigestOf([]byte("absent"))); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("missing recipe error = %v, want os.ErrNotExist", err)
+			}
+		})
+	}
+}
+
+// TestChunkedDedup pins the point of chunking: a payload that shares a
+// long prefix with an already-stored one reuses its chunks, so stored
+// bytes grow by far less than the second payload's size and the shared
+// chunks count as hits.
+func TestChunkedDedup(t *testing.T) {
+	s := NewMem()
+	o := obs.New()
+	s.Obs = o
+	base := randPayload(3, 40_000)
+	if _, err := PutChunked(s, base); err != nil {
+		t.Fatal(err)
+	}
+	before := s.SizeBytes()
+	// Same prefix, different tail: only tail-side chunks are new.
+	variant := append(append([]byte{}, base[:35_000]...), randPayload(4, 5_000)...)
+	if _, err := PutChunked(s, variant); err != nil {
+		t.Fatal(err)
+	}
+	added := s.SizeBytes() - before
+	if added >= int64(len(variant))/2 {
+		t.Fatalf("variant added %d bytes of %d; chunk dedupe not effective", added, len(variant))
+	}
+	snap := o.Metrics.Snapshot()
+	if snap.Counters["modelstore_chunk_hits_total"] == 0 {
+		t.Fatal("no chunk dedupe hits counted")
+	}
+	if snap.Counters["modelstore_chunk_puts_total"] == 0 {
+		t.Fatal("no chunk puts counted")
+	}
+	got, err := GetChunked(s, mustPut(t, s, variant))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, variant) {
+		t.Fatal("variant reassembly corrupted")
+	}
+}
+
+func mustPut(t *testing.T, s Store, data []byte) Digest {
+	t.Helper()
+	d, err := PutChunked(s, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDiskCorruptObjectRecovered: a truncated or overwritten object file
+// must read as a miss (os.ErrNotExist), be deleted so the store heals,
+// and accept a clean re-Put.
+func TestDiskCorruptObjectRecovered(t *testing.T) {
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := randPayload(5, 4096)
+	d, err := disk.Put(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(disk.Dir(), d.String()+".bin")
+	if err := os.WriteFile(path, payload[:1000], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := disk.Get(d); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt object Get error = %v, want os.ErrNotExist", err)
+	}
+	if _, statErr := os.Stat(path); !errors.Is(statErr, os.ErrNotExist) {
+		t.Fatal("corrupt object file was not deleted")
+	}
+	if disk.Has(d) {
+		t.Fatal("Has still true after corrupt object dropped")
+	}
+	if _, err := disk.Put(payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := disk.Get(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("re-put payload does not round-trip")
+	}
+}
+
+// TestBoundedCacheChunked: chunk accounting charges shared chunks once
+// and refunds them only when the last referencing label leaves.
+func TestBoundedCacheChunked(t *testing.T) {
+	c := NewBoundedCache(-1)
+	c.EnableChunked()
+	base := randPayload(6, 20_000)
+	variant := append(append([]byte{}, base[:18_000]...), randPayload(7, 2_000)...)
+	c.Put(1, base)
+	afterBase := c.Bytes()
+	if afterBase != int64(len(base)) {
+		t.Fatalf("single payload accounts %d bytes, want %d", afterBase, len(base))
+	}
+	c.Put(2, variant)
+	shared := c.Bytes() - afterBase
+	if shared >= int64(len(variant))/2 {
+		t.Fatalf("variant charged %d of %d bytes; shared chunks double-counted", shared, len(variant))
+	}
+	if got, ok := c.Get(2); !ok || !bytes.Equal(got, variant) {
+		t.Fatal("chunked cache does not return the exact payload")
+	}
+	c.Remove(2)
+	if c.Bytes() != afterBase {
+		t.Fatalf("removing the variant left %d bytes, want %d", c.Bytes(), afterBase)
+	}
+	c.Remove(1)
+	if c.Bytes() != 0 {
+		t.Fatalf("empty chunked cache accounts %d bytes", c.Bytes())
+	}
+}
+
+// TestBoundedCacheChunkedEviction: under a budget, evicting a label that
+// shares chunks with a survivor frees only the unshared bytes.
+func TestBoundedCacheChunkedEviction(t *testing.T) {
+	base := randPayload(8, 20_000)
+	variant := append(append([]byte{}, base[:18_000]...), randPayload(9, 2_000)...)
+	other := randPayload(10, 20_000)
+	c := NewBoundedCache(int64(len(base) + len(variant) + len(other))) // roomy enough for all three whole
+	c.EnableChunked()
+	c.Put(1, base)
+	c.Put(2, variant)
+	withBoth := c.Bytes()
+	evicted := c.Put(3, other)
+	if len(evicted) != 0 {
+		t.Fatalf("unexpected evictions %v within budget", evicted)
+	}
+	// Shrink scenario: a budget 500 bytes short of everything forces the
+	// LRU label 1 out — and because label 2 still references the shared
+	// prefix chunks, the eviction frees far less than len(base).
+	c2 := NewBoundedCache(withBoth + int64(len(other)) - 500)
+	c2.EnableChunked()
+	c2.Put(1, base)
+	c2.Put(2, variant)
+	ev := c2.Put(3, other)
+	if len(ev) != 1 || ev[0] != 1 {
+		t.Fatalf("evicted %v, want exactly LRU label 1", ev)
+	}
+	freed := withBoth + int64(len(other)) - c2.Bytes()
+	if freed <= 0 || freed >= int64(len(base)) {
+		t.Fatalf("evicting label 1 freed %d bytes; shared chunks were not retained for label 2", freed)
+	}
+	if _, ok := c2.Get(2); !ok {
+		t.Fatal("label 2 lost its payload after sibling eviction")
+	}
+}

@@ -201,11 +201,20 @@ func (s *Disk) Put(data []byte) (Digest, error) {
 	return d, nil
 }
 
-// Get implements Store.
+// Get implements Store. The payload is re-hashed on the way out: a
+// truncated or corrupted object file (digest mismatch) is treated as a
+// miss — the broken file is deleted so the next Put can repopulate it —
+// rather than handed to a caller that would arm garbage weights.
 func (s *Disk) Get(d Digest) ([]byte, error) {
 	data, err := os.ReadFile(s.path(d))
 	if err != nil {
 		return nil, fmt.Errorf("modelstore: object %s: %w", d, err)
+	}
+	if DigestOf(data) != d {
+		s.mu.Lock()
+		os.Remove(s.path(d))
+		s.mu.Unlock()
+		return nil, fmt.Errorf("modelstore: object %s corrupt on disk, dropped: %w", d, os.ErrNotExist)
 	}
 	s.Obs.Counter("modelstore_hits_total").Inc()
 	return data, nil

@@ -239,6 +239,8 @@ func LoadWeightsAny(r io.Reader, ps []*Param) error {
 	switch magic {
 	case weightsMagic:
 		return LoadWeights(io.MultiReader(bytes.NewReader(magic[:]), r), ps)
+	case magicDelta:
+		return fmt.Errorf("nn: dcW5 delta payload needs a backbone; use ApplyWeightsDelta")
 	case magicF16, magicInt8, magicInt8PC:
 		var count uint32
 		if err := binary.Read(r, binary.LittleEndian, &count); err != nil {

@@ -54,6 +54,31 @@ type ModelInfo struct {
 	// them to Model.CalibrateFromScales to arm the int8 path
 	// bit-identically to the origin. Only set when Int8 is true.
 	ActScales []float32 `json:"act_scales,omitempty"`
+	// Delta marks a model shipped as a dcW5 delta against the manifest's
+	// shared backbone: Bytes is the delta payload (the wire download),
+	// and the client assembles the full weights locally. False (including
+	// manifests from servers predating the field) means Bytes is the
+	// complete serialized model.
+	Delta bool `json:"delta,omitempty"`
+	// BackboneDigest is the hex SHA-256 of the backbone payload the delta
+	// was encoded against; it must match Backbone.Digest. Only set when
+	// Delta is true.
+	BackboneDigest string `json:"backbone_digest,omitempty"`
+	// Digest is the hex SHA-256 of the full serialized weights, letting a
+	// client verify an assembled (or fetched) model before arming it.
+	Digest string `json:"digest,omitempty"`
+	// FullBytes is the size of the complete serialized model when Delta
+	// is true (what a fallback full fetch downloads); zero otherwise.
+	FullBytes int `json:"full_bytes,omitempty"`
+}
+
+// BackboneInfo describes the shared backbone model the manifest's delta
+// entries are encoded against. The backbone is itself one of the cluster
+// models (Label), fetched at most once per session via its own wire op.
+type BackboneInfo struct {
+	Label  int    `json:"label"`
+	Digest string `json:"digest"` // hex SHA-256 of the backbone payload
+	Bytes  int    `json:"bytes"`
 }
 
 // Manifest is the per-video index a dcSR client downloads first: the
@@ -62,6 +87,10 @@ type ModelInfo struct {
 type Manifest struct {
 	Segments []SegmentInfo
 	Models   map[int]ModelInfo
+	// Backbone, when non-nil, is the shared model that every Delta entry
+	// in Models is encoded against (the model-stream representation);
+	// nil means every model ships complete.
+	Backbone *BackboneInfo
 }
 
 // Validate checks internal consistency: frame ranges must be non-empty,
@@ -92,12 +121,31 @@ func (m *Manifest) Validate() error {
 			return fmt.Errorf("stream: segment %d has negative size %d", s.Index, s.Bytes)
 		}
 	}
+	if b := m.Backbone; b != nil {
+		if b.Digest == "" || b.Bytes <= 0 {
+			return fmt.Errorf("stream: backbone missing digest or size")
+		}
+		if _, ok := m.Models[b.Label]; !ok {
+			return fmt.Errorf("stream: backbone label %d has no model entry", b.Label)
+		}
+	}
 	for label, mi := range m.Models {
 		if mi.Label != label {
 			return fmt.Errorf("stream: model keyed %d carries label %d", label, mi.Label)
 		}
 		if mi.Bytes <= 0 {
 			return fmt.Errorf("stream: model %d has non-positive size %d", label, mi.Bytes)
+		}
+		if mi.Delta {
+			if m.Backbone == nil {
+				return fmt.Errorf("stream: delta model %d but manifest carries no backbone", label)
+			}
+			if mi.BackboneDigest != m.Backbone.Digest {
+				return fmt.Errorf("stream: delta model %d references backbone digest %.12s absent from the manifest", label, mi.BackboneDigest)
+			}
+			if mi.Digest == "" || mi.FullBytes <= 0 {
+				return fmt.Errorf("stream: delta model %d missing full-payload digest or size", label)
+			}
 		}
 	}
 	return nil
@@ -169,7 +217,16 @@ type Session struct {
 	Events     []Event
 	VideoBytes int
 	ModelBytes int
-	CacheHits  int
+	// BackboneBytes, DeltaModelBytes and FullModelBytes break ModelBytes
+	// down for manifests carrying a model stream: the shared backbone is
+	// downloaded once per session (BackboneBytes), delta entries cost
+	// their delta payloads (DeltaModelBytes), and everything else —
+	// including every model of a backbone-less manifest — is a complete
+	// download (FullModelBytes). The three always sum to ModelBytes.
+	BackboneBytes   int
+	DeltaModelBytes int
+	FullModelBytes  int
+	CacheHits       int
 	// CacheMisses counts segments whose model had to be downloaded
 	// (kept separate from Downloads so hit+miss covers exactly the
 	// segments that needed a model; with a Fetcher the two differ by the
@@ -196,6 +253,11 @@ type Session struct {
 	FetchData func(label int) ([]byte, error)
 	// DegradedSegments counts segments whose model fetch failed.
 	DegradedSegments int
+
+	// backboneFetched records that this session already paid for the
+	// shared backbone; every later model assembled from it is free of
+	// that cost (the model-stream accounting).
+	backboneFetched bool
 }
 
 // NewSession starts a session over manifest. When useCache is false every
@@ -272,12 +334,42 @@ func (s *Session) Step(seg SegmentInfo) Event {
 			}
 			mi := s.manifest.Models[seg.ModelLabel]
 			ev.ModelDownloaded = true
-			ev.ModelBytes = mi.Bytes
-			s.ModelBytes += mi.Bytes
 			s.Downloads++
-			s.Obs.Counter("model_bytes_total").Add(int64(mi.Bytes))
+			cost := mi.Bytes
+			bb := s.manifest.Backbone
+			switch {
+			case mi.Delta:
+				// Delta entry: the first one in the session also pulls the
+				// shared backbone; after that each new cluster costs only
+				// its delta payload.
+				if !s.backboneFetched {
+					s.backboneFetched = true
+					cost += bb.Bytes
+					s.BackboneBytes += bb.Bytes
+					s.Obs.Counter("modelstream_backbone_fetch_total").Inc()
+				}
+				s.DeltaModelBytes += mi.Bytes
+				s.Obs.Counter("modelstream_delta_bytes_total").Add(int64(mi.Bytes))
+			case bb != nil && seg.ModelLabel == bb.Label:
+				// The backbone's own label: its full payload is the backbone
+				// itself, so a session that already fetched the backbone
+				// reuses it for free, and fetching it here covers every
+				// later delta.
+				if s.backboneFetched {
+					cost = 0
+				} else {
+					s.backboneFetched = true
+					s.Obs.Counter("modelstream_backbone_fetch_total").Inc()
+				}
+				s.BackboneBytes += cost
+			default:
+				s.FullModelBytes += mi.Bytes
+			}
+			ev.ModelBytes = cost
+			s.ModelBytes += cost
+			s.Obs.Counter("model_bytes_total").Add(int64(cost))
 			sp.Set("cache", "miss")
-			sp.Set("model_bytes", mi.Bytes)
+			sp.Set("model_bytes", cost)
 			if data == nil {
 				// Simulation mode: no real payload, so budget accounting
 				// uses the manifest-declared size.

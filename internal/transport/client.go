@@ -3,6 +3,8 @@ package transport
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
@@ -15,6 +17,7 @@ import (
 	"dcsr/internal/modelstore"
 	"dcsr/internal/nn"
 	"dcsr/internal/obs"
+	"dcsr/internal/stream"
 	"dcsr/internal/video"
 )
 
@@ -86,8 +89,11 @@ type Client struct {
 	// Obs records transport_client_requests_total,
 	// transport_client_bytes_up/down_total, the fault-tolerance
 	// counters transport_client_{retries,timeouts,reconnects}_total,
-	// the admission-shed counter transport_client_shed_total, and
-	// per-exchange round-trip latency as both the lifetime
+	// the admission-shed counter transport_client_shed_total, the
+	// model-stream counters modelstream_backbone_fetch_total,
+	// modelstream_delta_bytes_total and modelstream_fallback_total
+	// (manifests advertising a backbone only), and per-exchange
+	// round-trip latency as both the lifetime
 	// transport_client_rtt_seconds histogram and its rolling-window
 	// twin transport_client_rtt_window_seconds; nil disables metrics.
 	Obs *obs.Obs
@@ -500,6 +506,158 @@ func (c *Client) modelData(ctx context.Context, label int, cfg edsr.Config) (*ed
 	return m, data, nil
 }
 
+// payloadDigest is the hex SHA-256 manifests use to identify model
+// payloads end-to-end (stream.BackboneInfo.Digest, ModelInfo.Digest).
+func payloadDigest(data []byte) string {
+	d := sha256.Sum256(data)
+	return hex.EncodeToString(d[:])
+}
+
+// modelStream assembles micro models client-side when the manifest
+// advertises a model stream (WireManifest.Backbone): the shared backbone
+// is fetched once per session via OpBackbone and verified against the
+// manifest's digest, and each delta-shipped model is fetched as a dcW5
+// delta via OpModelDelta, applied to the backbone, and verified against
+// the manifest's full-payload digest before it is armed. Any assembly
+// failure falls back to the complete OpModel fetch
+// (modelstream_fallback_total) — the same path every model takes against
+// a manifest without a backbone or a server predating the ops. It also
+// owns the session's model-byte accounting, so ModelBytes always equals
+// BackboneBytes + DeltaModelBytes + FullModelBytes.
+type modelStream struct {
+	c     *Client
+	wm    *WireManifest
+	stats *PlayStats
+	infos map[int]stream.ModelInfo
+
+	backbone []byte      // verified backbone payload; nil until fetched
+	bbModel  *edsr.Model // deserialized backbone, the delta base
+
+	bbFetch  *obs.Counter
+	deltaCtr *obs.Counter
+	fallback *obs.Counter
+}
+
+func newModelStream(c *Client, wm *WireManifest, stats *PlayStats) *modelStream {
+	ms := &modelStream{c: c, wm: wm, stats: stats, infos: make(map[int]stream.ModelInfo)}
+	if wm.Backbone == nil {
+		return ms
+	}
+	for _, mi := range wm.Models {
+		ms.infos[mi.Label] = mi
+	}
+	ms.bbFetch = c.Obs.Counter("modelstream_backbone_fetch_total")
+	ms.deltaCtr = c.Obs.Counter("modelstream_delta_bytes_total")
+	ms.fallback = c.Obs.Counter("modelstream_fallback_total")
+	return ms
+}
+
+// fetch downloads (or assembles) one micro model, returning the model and
+// the payload the byte-budgeted cache should hold — the wire download
+// unit: the delta for delta-shipped labels, the backbone payload for the
+// backbone's own label, the complete weights otherwise.
+func (ms *modelStream) fetch(ctx context.Context, label int, cfg edsr.Config) (*edsr.Model, []byte, error) {
+	mi, ok := ms.infos[label]
+	if ms.wm.Backbone == nil || !ok || (!mi.Delta && label != ms.wm.Backbone.Label) {
+		return ms.fullFetch(ctx, label, cfg)
+	}
+	m, data, err := ms.assemble(ctx, label, cfg, mi)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, nil, err
+		}
+		ms.fallback.Inc()
+		ms.c.Log.Warn("transport: model assembly failed; falling back to full fetch",
+			"model", label, "err", err)
+		return ms.fullFetch(ctx, label, cfg)
+	}
+	return m, data, nil
+}
+
+// fullFetch is the pre-model-stream path: the complete weights via
+// OpModel, which every server serves for every label.
+func (ms *modelStream) fullFetch(ctx context.Context, label int, cfg edsr.Config) (*edsr.Model, []byte, error) {
+	m, data, err := ms.c.modelData(ctx, label, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	ms.stats.FullModelBytes += len(data)
+	ms.stats.ModelBytes += len(data)
+	ms.c.Obs.Counter("model_bytes_total").Add(int64(len(data)))
+	return m, data, nil
+}
+
+// getBackbone fetches and verifies the shared backbone, at most once per
+// session. A digest mismatch rejects the payload (the next delta label
+// retries the fetch, and the caller falls back to a full fetch meanwhile).
+func (ms *modelStream) getBackbone(ctx context.Context, cfg edsr.Config) error {
+	if ms.backbone != nil {
+		return nil
+	}
+	data, err := ms.c.roundTrip(ctx, OpBackbone, 0)
+	if err != nil {
+		return err
+	}
+	if got := payloadDigest(data); got != ms.wm.Backbone.Digest {
+		return fmt.Errorf("transport: backbone digest %s, manifest says %s", got, ms.wm.Backbone.Digest)
+	}
+	bb, err := edsr.New(cfg, 0)
+	if err != nil {
+		return err
+	}
+	if err := nn.LoadWeights(bytes.NewReader(data), bb.Params()); err != nil {
+		return fmt.Errorf("transport: backbone weights: %w", err)
+	}
+	ms.backbone = data
+	ms.bbModel = bb
+	ms.bbFetch.Inc()
+	ms.stats.BackboneBytes += len(data)
+	ms.stats.ModelBytes += len(data)
+	ms.c.Obs.Counter("model_bytes_total").Add(int64(len(data)))
+	ms.c.Log.Debug("transport: backbone fetched", "bytes", len(data))
+	return nil
+}
+
+// assemble serves a model-stream label: the backbone's own label costs no
+// wire bytes beyond the (session-wide, once) backbone fetch; a delta
+// label downloads its dcW5 payload and reconstructs. The assembled
+// weights must hash to the manifest's full-payload digest — the same
+// canonical bytes the origin serves whole via OpModel — before arming.
+func (ms *modelStream) assemble(ctx context.Context, label int, cfg edsr.Config, mi stream.ModelInfo) (*edsr.Model, []byte, error) {
+	if err := ms.getBackbone(ctx, cfg); err != nil {
+		return nil, nil, err
+	}
+	if label == ms.wm.Backbone.Label {
+		m, err := edsr.New(cfg, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := nn.LoadWeights(bytes.NewReader(ms.backbone), m.Params()); err != nil {
+			return nil, nil, fmt.Errorf("transport: backbone weights: %w", err)
+		}
+		return m, ms.backbone, nil
+	}
+	delta, err := ms.c.roundTrip(ctx, OpModelDelta, uint32(label))
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := edsr.New(cfg, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := nn.ApplyWeightsDelta(ms.bbModel.Params(), delta, m.Params()); err != nil {
+		return nil, nil, fmt.Errorf("transport: model %d delta: %w", label, err)
+	}
+	if got := payloadDigest(nn.EncodeWeights(m.Params())); got != mi.Digest {
+		return nil, nil, fmt.Errorf("transport: model %d assembled digest %s, manifest says %s", label, got, mi.Digest)
+	}
+	ms.stats.DeltaModelBytes += len(delta)
+	ms.stats.ModelBytes += len(delta)
+	ms.deltaCtr.Add(int64(len(delta)))
+	ms.c.Obs.Counter("model_bytes_total").Add(int64(len(delta)))
+	return m, delta, nil
+}
+
 // PlayStats summarizes a streamed playback session.
 type PlayStats struct {
 	Segments       int
@@ -507,7 +665,15 @@ type PlayStats struct {
 	CacheHits      int
 	VideoBytes     int
 	ModelBytes     int
-	Enhanced       int
+	// BackboneBytes, DeltaModelBytes and FullModelBytes break ModelBytes
+	// down for model-stream sessions: the shared backbone (paid once per
+	// session), the per-cluster dcW5 deltas, and models downloaded
+	// complete (non-delta entries, pre-model-stream manifests, and
+	// assembly fallbacks). They always sum to ModelBytes.
+	BackboneBytes   int
+	DeltaModelBytes int
+	FullModelBytes  int
+	Enhanced        int
 	// EnhancedInt8 counts the subset of Enhanced frames served on the
 	// int8 kernel path (models the manifest advertised as int8-gated,
 	// calibrated client-side from the manifest's activation scales).
@@ -575,6 +741,14 @@ func (c *Client) PlayCtx(ctx context.Context, enhance bool) ([]*video.YUV, *Play
 	mcache := modelstore.NewBoundedCache(clientBudget(c.CacheBudget))
 	mcache.Obs = c.Obs
 	mcache.OnEvict = func(label int) { delete(models, label) }
+	// Model-stream sessions cache wire-download units (deltas, the
+	// backbone payload) and account them chunk-wise, deduping the runs of
+	// bytes deltas share; ms degrades to the plain full-fetch path for
+	// manifests without a backbone.
+	ms := newModelStream(c, wm, stats)
+	if wm.Backbone != nil {
+		mcache.EnableChunked()
+	}
 	degraded := make(map[int]bool)
 	var out []*video.YUV
 	for _, seg := range wm.Segments {
@@ -600,7 +774,7 @@ func (c *Client) PlayCtx(ctx context.Context, enhance bool) ([]*video.YUV, *Play
 				sp.Set("cache", "hit")
 			} else {
 				c.Obs.Counter("cache_misses_total").Inc()
-				m, data, err := c.modelData(ctx, seg.ModelLabel, wm.MicroConfig)
+				m, data, err := ms.fetch(ctx, seg.ModelLabel, wm.MicroConfig)
 				if err != nil {
 					if ctx.Err() != nil {
 						sp.End()
@@ -632,8 +806,9 @@ func (c *Client) PlayCtx(ctx context.Context, enhance bool) ([]*video.YUV, *Play
 					}
 					model = m
 					stats.ModelDownloads++
-					stats.ModelBytes += len(data)
-					c.Obs.Counter("model_bytes_total").Add(int64(len(data)))
+					// Byte accounting (ModelBytes and its backbone/delta/full
+					// breakdown, model_bytes_total) happens inside ms.fetch —
+					// a delta label's first miss also pays the backbone.
 					sp.Set("cache", "miss")
 					sp.Set("model_bytes", len(data))
 					if degraded[seg.ModelLabel] {

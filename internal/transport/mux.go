@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -9,7 +10,10 @@ import (
 	"sync"
 	"time"
 
+	"dcsr/internal/edsr"
+	"dcsr/internal/nn"
 	"dcsr/internal/obs"
+	"dcsr/internal/stream"
 )
 
 // MuxClient multiplexes many concurrent requests over one connection
@@ -56,6 +60,13 @@ type MuxClient struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// bbMu guards backbones, the per-video cache of verified backbone
+	// payloads ModelData assembles delta-shipped models from. Holding it
+	// across the fetch means N concurrent sessions of one video pay for
+	// exactly one OpBackbone download.
+	bbMu      sync.Mutex
+	backbones map[uint32][]byte
 
 	stats struct {
 		sync.Mutex
@@ -449,6 +460,119 @@ func (m *MuxClient) Do(ctx context.Context, op byte, arg, video uint32) ([]byte,
 			return nil, err
 		}
 	}
+}
+
+// ModelData fetches micro model label of the given video through the
+// model stream when wm (that video's manifest) advertises a backbone:
+// delta-shipped labels download their dcW5 delta (the video's backbone is
+// fetched and verified at most once per client, shared by every
+// concurrent session), assemble against the backbone, and verify the
+// result against the manifest's full-payload digest before arming it.
+// Everything else — non-delta labels, manifests without a backbone, and
+// any assembly failure (modelstream_fallback_total) — takes the complete
+// OpModel fetch every server answers. The returned int is the wire bytes
+// this call downloaded (a delta label's first fetch also pays the
+// backbone).
+func (m *MuxClient) ModelData(ctx context.Context, video uint32, wm *WireManifest, label int, cfg edsr.Config) (*edsr.Model, int, error) {
+	var mi stream.ModelInfo
+	found := false
+	if wm != nil && wm.Backbone != nil {
+		for _, e := range wm.Models {
+			if e.Label == label {
+				mi, found = e, true
+				break
+			}
+		}
+	}
+	if !found || (!mi.Delta && label != wm.Backbone.Label) {
+		return m.fullModel(ctx, video, label, cfg)
+	}
+	model, wire, err := m.assembleModel(ctx, video, wm, label, cfg, mi)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, 0, err
+		}
+		m.Obs.Counter("modelstream_fallback_total").Inc()
+		m.Log.Warn("transport: mux model assembly failed; falling back to full fetch",
+			"model", label, "video", video, "err", err)
+		return m.fullModel(ctx, video, label, cfg)
+	}
+	return model, wire, nil
+}
+
+// fullModel is the pre-model-stream path: complete weights via OpModel.
+func (m *MuxClient) fullModel(ctx context.Context, video uint32, label int, cfg edsr.Config) (*edsr.Model, int, error) {
+	data, err := m.Do(ctx, OpModel, uint32(label), video)
+	if err != nil {
+		return nil, 0, err
+	}
+	model, err := edsr.New(cfg, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := nn.LoadWeights(bytes.NewReader(data), model.Params()); err != nil {
+		return nil, 0, fmt.Errorf("transport: model %d: %w", label, err)
+	}
+	return model, len(data), nil
+}
+
+// videoBackbone returns video's verified backbone payload and the wire
+// bytes this call spent fetching it (zero on a cache hit).
+func (m *MuxClient) videoBackbone(ctx context.Context, video uint32, wm *WireManifest) ([]byte, int, error) {
+	m.bbMu.Lock()
+	defer m.bbMu.Unlock()
+	if bb, ok := m.backbones[video]; ok {
+		return bb, 0, nil
+	}
+	data, err := m.Do(ctx, OpBackbone, 0, video)
+	if err != nil {
+		return nil, 0, err
+	}
+	if got := payloadDigest(data); got != wm.Backbone.Digest {
+		return nil, 0, fmt.Errorf("transport: backbone digest %s, manifest says %s", got, wm.Backbone.Digest)
+	}
+	if m.backbones == nil {
+		m.backbones = make(map[uint32][]byte)
+	}
+	m.backbones[video] = data
+	m.Obs.Counter("modelstream_backbone_fetch_total").Inc()
+	return data, len(data), nil
+}
+
+// assembleModel serves one model-stream label: the backbone's own label
+// is the backbone payload itself; a delta label downloads its dcW5
+// payload and reconstructs, verified end-to-end by digest.
+func (m *MuxClient) assembleModel(ctx context.Context, video uint32, wm *WireManifest, label int, cfg edsr.Config, mi stream.ModelInfo) (*edsr.Model, int, error) {
+	bb, bbWire, err := m.videoBackbone(ctx, video, wm)
+	if err != nil {
+		return nil, 0, err
+	}
+	base, err := edsr.New(cfg, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := nn.LoadWeights(bytes.NewReader(bb), base.Params()); err != nil {
+		return nil, 0, fmt.Errorf("transport: backbone weights: %w", err)
+	}
+	if label == wm.Backbone.Label {
+		return base, bbWire, nil
+	}
+	delta, err := m.Do(ctx, OpModelDelta, uint32(label), video)
+	if err != nil {
+		return nil, 0, err
+	}
+	model, err := edsr.New(cfg, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := nn.ApplyWeightsDelta(base.Params(), delta, model.Params()); err != nil {
+		return nil, 0, fmt.Errorf("transport: model %d delta: %w", label, err)
+	}
+	if got := payloadDigest(nn.EncodeWeights(model.Params())); got != mi.Digest {
+		return nil, 0, fmt.Errorf("transport: model %d assembled digest %s, manifest says %s", label, got, mi.Digest)
+	}
+	m.Obs.Counter("modelstream_delta_bytes_total").Add(int64(len(delta)))
+	return model, bbWire + len(delta), nil
 }
 
 // MuxStats is a point-in-time snapshot of a MuxClient's accounting,

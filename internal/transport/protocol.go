@@ -109,8 +109,16 @@ import (
 const (
 	OpManifest = 1 // payload: none          → JSON WireManifest
 	OpSegment  = 2 // payload: segment index → marshaled codec.Stream
-	OpModel    = 3 // payload: model label   → serialized weights
+	OpModel    = 3 // payload: model label   → serialized weights (always complete)
 	OpVideos   = 4 // payload: none          → JSON WireDirectory
+	// OpBackbone fetches the video's shared backbone weights (the model
+	// stream's base payload, downloaded once per session); OpModelDelta
+	// fetches model label's dcW5 delta against that backbone. Both answer
+	// StatusNotFound when the video was prepared without delta encoding;
+	// OpModel keeps serving every model complete, which is how pre-
+	// model-stream clients (and assembly fallback) interoperate.
+	OpBackbone   = 5 // payload: none        → backbone serialized weights
+	OpModelDelta = 6 // payload: model label → dcW5 delta payload
 )
 
 // Response status codes.
@@ -183,11 +191,19 @@ type WireManifest struct {
 	// Mux == false, keeping a newer client on classic framing and
 	// treating every rejection as terminal.
 	Mux bool `json:"mux,omitempty"`
+	// Backbone advertises the model stream: the video's models ship as
+	// one shared backbone (served by OpBackbone) plus per-cluster deltas
+	// (OpModelDelta) for every model entry flagged Delta. It doubles as
+	// the capability switch — a manifest from an older server (or a video
+	// prepared without delta encoding) decodes with Backbone == nil and
+	// the client fetches every model complete via OpModel, exactly as
+	// before.
+	Backbone *stream.BackboneInfo `json:"backbone,omitempty"`
 }
 
 // Manifest converts the wire form back to a stream.Manifest.
 func (wm *WireManifest) Manifest() *stream.Manifest {
-	m := &stream.Manifest{Models: make(map[int]stream.ModelInfo, len(wm.Models))}
+	m := &stream.Manifest{Models: make(map[int]stream.ModelInfo, len(wm.Models)), Backbone: wm.Backbone}
 	m.Segments = append(m.Segments, wm.Segments...)
 	for _, mi := range wm.Models {
 		m.Models[mi.Label] = mi
@@ -197,7 +213,7 @@ func (wm *WireManifest) Manifest() *stream.Manifest {
 
 // EncodeWireManifest serializes a manifest for OpManifest responses.
 func EncodeWireManifest(fps int, micro edsr.Config, m *stream.Manifest) ([]byte, error) {
-	wm := WireManifest{FPS: fps, MicroConfig: micro, Segments: m.Segments, Trace: true, Mux: true}
+	wm := WireManifest{FPS: fps, MicroConfig: micro, Segments: m.Segments, Trace: true, Mux: true, Backbone: m.Backbone}
 	for _, l := range m.ModelLabels() {
 		wm.Models = append(wm.Models, m.Models[l])
 	}

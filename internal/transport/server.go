@@ -25,6 +25,12 @@ type hostedVideo struct {
 	manifest []byte
 	segments [][]byte
 	models   map[uint32][]byte
+	// backbone and deltas serve the model stream: OpBackbone answers with
+	// the shared backbone weights, OpModelDelta with a label's dcW5 delta.
+	// Both are nil/empty for videos prepared without delta encoding — the
+	// ops answer StatusNotFound and clients fetch full models via OpModel.
+	backbone []byte
+	deltas   map[uint32][]byte
 	info     WireVideo
 }
 
@@ -45,7 +51,8 @@ type Server struct {
 	// Obs records transport_requests_total, transport_not_found_total,
 	// transport_shed_total, transport_bytes_in/out_total, the
 	// per-message-type latency histograms
-	// transport_{manifest,segment,model,directory}_seconds, their
+	// transport_{manifest,segment,model,directory,backbone,modeldelta}_seconds,
+	// the chunk-dedupe counters modelstore_chunk_puts/hits_total, their
 	// rolling-window twins transport_requests_window_total,
 	// transport_shed_window_total and
 	// transport_{manifest,segment,model}_window_seconds, and the
@@ -66,6 +73,11 @@ type Server struct {
 	byDigest  map[string]uint32
 	directory []byte
 	store     *modelstore.Mem
+	// assembled dedupes serving buffers across videos by payload digest —
+	// the k-th video re-using a model (or delta, or backbone) serves the
+	// same canonical copy. The chunk store underneath accounts sub-payload
+	// sharing; see internPayload.
+	assembled map[modelstore.Digest][]byte
 	adm       *admission
 	ln        net.Listener
 	conns     map[net.Conn]struct{}
@@ -85,9 +97,10 @@ type Server struct {
 // answers every data op with StatusNotFound.
 func NewFleetServer() *Server {
 	s := &Server{
-		byDigest: make(map[string]uint32),
-		store:    modelstore.NewMem(),
-		conns:    make(map[net.Conn]struct{}),
+		byDigest:  make(map[string]uint32),
+		store:     modelstore.NewMem(),
+		assembled: make(map[modelstore.Digest][]byte),
+		conns:     make(map[net.Conn]struct{}),
 	}
 	empty, err := EncodeWireDirectory(&WireDirectory{})
 	if err != nil {
@@ -131,7 +144,7 @@ func (s *Server) Register(p *core.Prepared) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	v := &hostedVideo{manifest: man, models: make(map[uint32][]byte)}
+	v := &hostedVideo{manifest: man, models: make(map[uint32][]byte), deltas: make(map[uint32][]byte)}
 	hash := sha256.New()
 	for i := range p.Segments {
 		sub, err := p.SegmentStream(i)
@@ -162,34 +175,40 @@ func (s *Server) Register(p *core.Prepared) (string, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// The chunk store only counts dedupe when it can see the registry;
+	// pick up whatever Obs the owner has attached by now (registrations
+	// through the NewServer sugar happen before any Obs is assigned and
+	// stay uninstrumented, same as every other server metric).
+	s.store.Obs = s.Obs
 	if _, dup := s.byDigest[digest]; dup {
 		return "", fmt.Errorf("transport: video %s already registered", digest)
 	}
-	// Model payloads are content-addressed into a shared store so the
-	// k-th video re-using a model costs no extra memory, and a digest
-	// collision (same digest, different bytes) is caught instead of
-	// silently serving the wrong weights.
+	// Model payloads are content-addressed so the k-th video re-using a
+	// model costs no extra memory, and a digest collision (same digest,
+	// different bytes) is caught instead of silently serving the wrong
+	// weights. Delta payloads go through the same path, and the chunk
+	// store underneath additionally dedupes shared runs of bytes across
+	// distinct payloads (modelstore_chunk_puts/hits_total).
 	for _, label := range p.Manifest.ModelLabels() {
 		if label < 0 {
 			continue
 		}
-		data := p.Models[label].Bytes
-		d := modelstore.DigestOf(data)
-		if s.store.Has(d) {
-			existing, err := s.store.Get(d)
-			if err != nil {
-				return "", fmt.Errorf("transport: model store: %w", err)
-			}
-			if !bytes.Equal(existing, data) {
-				return "", fmt.Errorf("transport: model %d digest %s collides with a different hosted payload", label, d)
-			}
-			data = existing // dedupe: share the canonical copy
-		} else if _, err := s.store.Put(data); err != nil {
-			return "", fmt.Errorf("transport: model store: %w", err)
-		} else if data, err = s.store.Get(d); err != nil {
-			return "", fmt.Errorf("transport: model store: %w", err)
+		sm := p.Models[label]
+		data, err := s.internPayload(fmt.Sprintf("model %d", label), sm.Bytes)
+		if err != nil {
+			return "", err
 		}
 		v.models[uint32(label)] = data
+		if sm.Delta != nil && sm.Delta.DeltaOK {
+			dd, err := s.internPayload(fmt.Sprintf("model %d delta", label), sm.Delta.Bytes)
+			if err != nil {
+				return "", err
+			}
+			v.deltas[uint32(label)] = dd
+		}
+	}
+	if bb := p.Manifest.Backbone; bb != nil {
+		v.backbone = v.models[uint32(bb.Label)]
 	}
 	id := uint32(len(s.videos))
 	v.info = WireVideo{
@@ -219,6 +238,27 @@ func (s *Server) Register(p *core.Prepared) (string, error) {
 	s.Log.Debug("transport: video registered", "id", id, "digest", digest,
 		"segments", v.info.Segments, "models", v.info.Models)
 	return digest, nil
+}
+
+// internPayload dedupes one serving buffer by payload digest — callers
+// holding s.mu get back the canonical copy of byte-identical payloads —
+// and chunk-stores fresh payloads so sub-payload sharing (the backbone a
+// second video re-uses, residual runs two deltas have in common) is
+// accounted by the modelstore_chunk_puts/hits_total counters. A digest
+// collision (same digest, different bytes) is refused.
+func (s *Server) internPayload(what string, data []byte) ([]byte, error) {
+	d := modelstore.DigestOf(data)
+	if existing, ok := s.assembled[d]; ok {
+		if !bytes.Equal(existing, data) {
+			return nil, fmt.Errorf("transport: %s digest %s collides with a different hosted payload", what, d)
+		}
+		return existing, nil
+	}
+	if _, err := modelstore.PutChunked(s.store, data); err != nil {
+		return nil, fmt.Errorf("transport: model store: %w", err)
+	}
+	s.assembled[d] = data
+	return data, nil
 }
 
 // Videos returns the current directory of hosted videos in registration
@@ -347,10 +387,12 @@ func (s *Server) connMetrics() *connMetrics {
 		inflight:   s.Obs.Gauge("transport_inflight"),
 		inflightPk: s.Obs.Gauge("transport_inflight_peak"),
 		opHists: map[byte]*obs.Histogram{
-			OpManifest: s.Obs.Histogram("transport_manifest_seconds"),
-			OpSegment:  s.Obs.Histogram("transport_segment_seconds"),
-			OpModel:    s.Obs.Histogram("transport_model_seconds"),
-			OpVideos:   s.Obs.Histogram("transport_directory_seconds"),
+			OpManifest:   s.Obs.Histogram("transport_manifest_seconds"),
+			OpSegment:    s.Obs.Histogram("transport_segment_seconds"),
+			OpModel:      s.Obs.Histogram("transport_model_seconds"),
+			OpVideos:     s.Obs.Histogram("transport_directory_seconds"),
+			OpBackbone:   s.Obs.Histogram("transport_backbone_seconds"),
+			OpModelDelta: s.Obs.Histogram("transport_modeldelta_seconds"),
 		},
 		unknownHist: s.Obs.Histogram("transport_unknown_seconds"),
 		wReqCtr:     s.Obs.WindowedCounter("transport_requests_window_total"),
@@ -510,6 +552,20 @@ func (s *Server) handle(cw *connWriter, m *connMetrics, adm *admission, req wire
 		} else {
 			status = StatusNotFound
 		}
+	case OpBackbone:
+		if v == nil || v.backbone == nil {
+			status = StatusNotFound
+		} else {
+			payload = v.backbone
+		}
+	case OpModelDelta:
+		if v == nil {
+			status = StatusNotFound
+		} else if data, ok := v.deltas[req.Arg]; ok {
+			payload = data
+		} else {
+			status = StatusNotFound
+		}
 	default:
 		status = StatusBadReq
 	}
@@ -581,6 +637,10 @@ func opName(op byte) string {
 		return "model"
 	case OpVideos:
 		return "videos"
+	case OpBackbone:
+		return "backbone"
+	case OpModelDelta:
+		return "modeldelta"
 	default:
 		return "unknown"
 	}

@@ -1,6 +1,7 @@
 package dcsr_test
 
 import (
+	"encoding/binary"
 	"io"
 	"net"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"dcsr/internal/edsr"
 	"dcsr/internal/faultnet"
 	"dcsr/internal/lint"
+	"dcsr/internal/modelstore"
 	"dcsr/internal/obs"
 	"dcsr/internal/splitter"
 	"dcsr/internal/transport"
@@ -51,13 +53,34 @@ func TestOperationsDocMetrics(t *testing.T) {
 		MicroConfig: edsr.Config{Filters: 4, ResBlocks: 1},
 		Train:       edsr.TrainOptions{Steps: 60, BatchSize: 2, PatchSize: 16},
 		// Quant registers the int8 gate counters; the player below then
-		// registers the int8 enhance-latency window histogram.
+		// registers the int8 enhance-latency window histogram. Delta
+		// registers the delta gate counters and makes the manifest carry a
+		// backbone, so wire playback below exercises the model-stream path
+		// (the loose PSNR bound guarantees the gate accepts, so at least
+		// one cluster really ships as a delta).
 		Quant: core.QuantConfig{Enabled: true},
+		Delta: core.DeltaConfig{Enabled: true, MaxPSNRDrop: 100},
 		Seed:  1,
 		Obs:   o,
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if prep.Manifest.Backbone == nil {
+		t.Fatal("delta stage produced no backbone; doc-coverage run is incomplete")
+	}
+
+	// Chunk-level dedupe: a fleet store holding one video's backbone sees
+	// the same chunks again when a later registration references them —
+	// the second PutChunked dedupes every chunk
+	// (modelstore_chunk_puts_total, then modelstore_chunk_hits_total).
+	chunkStore := modelstore.NewMem()
+	chunkStore.Obs = o
+	bbPayload := prep.Models[prep.Manifest.Backbone.Label].Bytes
+	for i := 0; i < 2; i++ {
+		if _, err := modelstore.PutChunked(chunkStore, bbPayload); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	// Local playback: session accounting plus codec decode/enhance. The
@@ -85,8 +108,22 @@ func TestOperationsDocMetrics(t *testing.T) {
 
 	// TCP serve (registers the open-conns gauge) with fault injection on
 	// the client: the second request's response is delayed past the
-	// deadline (timeout + reconnect + retry) and every model response is
-	// dropped (degraded segments, fetch failures).
+	// deadline (timeout + reconnect + retry) and every full-model
+	// response is dropped (degraded segments, fetch failures). One
+	// delta-shipped cluster has its OpModelDelta responses eaten too, so
+	// its assembly falls back to the (dropped) full-model path and
+	// degrades, while the backbone fetch and the remaining deltas succeed
+	// — firing the whole modelstream_* family in one session.
+	dropLabel := -1
+	for label, sm := range prep.Models {
+		if sm.Delta != nil && sm.Delta.DeltaOK && label != prep.Manifest.Backbone.Label {
+			dropLabel = label
+			break
+		}
+	}
+	if dropLabel < 0 {
+		t.Fatal("no cluster shipped as a delta; doc-coverage run is incomplete")
+	}
 	srv, err := transport.NewServer(prep)
 	if err != nil {
 		t.Fatal(err)
@@ -102,8 +139,15 @@ func TestOperationsDocMetrics(t *testing.T) {
 	inj := faultnet.New(faultnet.Config{
 		Delay: 300 * time.Millisecond,
 		Decide: func(i int, frame []byte) faultnet.Kind {
-			if len(frame) >= 9 && frame[4] == transport.OpModel {
-				return faultnet.KindDrop
+			if len(frame) >= 9 {
+				switch frame[4] {
+				case transport.OpModel:
+					return faultnet.KindDrop
+				case transport.OpModelDelta:
+					if binary.BigEndian.Uint32(frame[5:9]) == uint32(dropLabel) {
+						return faultnet.KindDrop
+					}
+				}
 			}
 			if i == 1 {
 				return faultnet.KindDelay
